@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact, prints the same rows
+the paper reports (so ``pytest benchmarks/ --benchmark-only -s`` shows
+the tables), and asserts the DESIGN.md shape criteria.  Simulation
+campaigns are stochastic single runs, exactly like the paper's cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiments are deterministic given their seeds and often long;
+    repeating them adds no statistical value, so every benchmark is a
+    single timed round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 11 — simplified-model performance curves."""
+
+from repro.experiments import run_experiment
+
+PAPER_ARGMIN = {"6h": 3.0, "12h": 2.5, "18h": 2.0, "24h": 2.0, "30h": 2.0}
+
+
+def test_bench_fig11(once):
+    result = once(run_experiment, "fig11")
+    print("\n" + result.render())
+    minima = result.findings["argmin_degree_per_mtbf"]
+    # Same shape as the paper's model: high degrees win at low MTBF,
+    # 2x wins from 18h upward.
+    assert minima["6h"] >= 2.5
+    for key in ("18h", "24h", "30h"):
+        assert minima[key] == PAPER_ARGMIN[key]
+    # Magnitudes: the 6h/1x cell is within 2x of the paper's 275 min
+    # measurement (the model predicted ~220).
+    six_hour_r1 = float(result.rows[0][1])
+    assert 140 <= six_hour_r1 <= 550

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 12 — observed (simulation) vs modeled."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig12(once):
+    result = once(run_experiment, "fig12")
+    print("\n" + result.render())
+    # The paper's verdict: trends similar, Q-Q close to the diagonal.
+    assert result.findings["pearson_correlation"] > 0.7
+    assert result.findings["mean_abs_pct_error"] < 0.6
+    assert result.findings["qq_worst_quantile_ratio"] < 3.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 13 — weak scaling to 30k processes."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig13(once):
+    result = once(run_experiment, "fig13")
+    print("\n" + result.render())
+    c2 = result.findings["crossover_1x_to_2x_processes"]
+    c3 = result.findings["crossover_1x_to_3x_processes"]
+    # Paper: 1x->2x @ 4,351 and 1x->3x @ 12,551: require same decades
+    # and the same ordering.
+    assert c2 < c3
+    assert 1_000 <= c2 <= 20_000
+    assert 5_000 <= c3 <= 50_000
+    assert result.findings["partial_redundancy_never_optimal"]

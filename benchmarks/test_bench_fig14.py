@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 14 — scaling to 200k and the throughput case."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig14(once):
+    result = once(run_experiment, "fig14")
+    print("\n" + result.render())
+    break_even = result.findings["two_2x_jobs_fit_in_one_1x_job_at"]
+    takeover = result.findings["3x_beats_2x_beyond"]
+    # Paper: break-even at 78,536; 3x cheapest beyond 771,251.
+    assert 20_000 <= break_even <= 300_000
+    assert 200_000 <= takeover <= 3_000_000
+    # 1x blows up within the plotted range (paper: "exponential
+    # increases ... after ~80,000 nodes").
+    blowup = result.findings["1x_blowup_processes"]
+    assert blowup is not None and blowup <= 200_000

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 2 (system reliability vs redundancy)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2(once):
+    result = once(run_experiment, "fig2")
+    print("\n" + result.render())
+    assert result.findings["monotone_at_integer_degrees"]
+    assert result.findings["lower_mtbf_needs_more_redundancy"]
+    # Dual redundancy lifts survival from ~1e-127 to a usable fraction.
+    assert result.findings["r2_reliability_theta5"] > 0.1

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figures 4-6 (modeled T_total vs r, three configs)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figs4to6(once):
+    result = once(run_experiment, "figs4to6")
+    print("\n" + result.render())
+    # Paper: "a redundancy level of 2 is the best choice in all cases".
+    for name in ("config1", "config2", "config3"):
+        assert result.findings[f"{name}/r_at_min"] == 2.0
+    # Daly interval scales like sqrt(c): config1 vs config3 is ~sqrt(10).
+    assert 2.0 < result.findings["delta_ratio_config1_over_config3"] < 3.5
+    # Cheaper checkpoints (config3) shrink the r=1 penalty.
+    assert (
+        result.findings["config3/T_r1_hours"]
+        < result.findings["config1/T_r1_hours"]
+    )

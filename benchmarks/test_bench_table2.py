@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 (168 h job breakdown vs node count)."""
+
+from repro.experiments import run_experiment
+
+PAPER_WORK_SHARES = {100: 96, 1_000: 92, 10_000: 75, 100_000: 35}
+
+
+def test_bench_table2(once):
+    result = once(run_experiment, "table2")
+    print("\n" + result.render())
+    assert result.findings["work_share_monotone_decreasing"]
+    for row in result.rows:
+        nodes = row[0]
+        ours = float(row[1].rstrip("%"))
+        paper = PAPER_WORK_SHARES[nodes]
+        # Shape criterion: within 10 percentage points of the paper.
+        assert abs(ours - paper) <= 10.0, (nodes, ours, paper)

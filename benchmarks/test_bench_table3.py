@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 3 (100k nodes, varied job length / MTBF)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table3(once):
+    result = once(run_experiment, "table3")
+    print("\n" + result.render())
+    # The 5 y row keeps a meaningful work share; the 1 y row collapses.
+    assert 0.25 <= result.findings["five_year_mtbf_work_share"] <= 0.45
+    assert result.findings["one_year_mtbf_work_share"] < 0.10

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Close the loop: does the analytic advisor's pick win in simulation?
+
+The paper validates its model by running the recommended configurations
+on a real cluster.  This script does the equivalent with the simulator:
+
+1. describe a (scaled-down) machine and application to the advisor;
+2. run the *actual* fault-injected job at the recommended degree and at
+   its neighbours;
+3. check that the recommendation is at (or next to) the empirical
+   optimum — single stochastic runs, so "next to" is the honest bar,
+   exactly as in the paper's noisy Table 4.
+
+Run:  python examples/advisor_validation.py   (takes ~1 minute)
+"""
+
+from repro.models import CombinedModel, recommend
+from repro.orchestration import JobConfig, ResilientJob
+from repro.util import render_table
+from repro.workloads import SyntheticWorkload
+
+# The scaled machine: 8 virtual processes, 6-second node MTBF; the
+# application: ~3 s base time at alpha ~ 0.2.
+PROCESSES = 8
+NODE_MTBF = 6.0
+BASE_TIME = 3.2
+ALPHA = 0.2
+CHECKPOINT_COST = 0.1
+RESTART_COST = 0.4
+
+
+def simulated_time(degree: float, seed: int = 7) -> float:
+    report = ResilientJob(
+        JobConfig(
+            workload_factory=lambda: SyntheticWorkload(
+                total_steps=80, compute_seconds=0.032, message_bytes=96 * 1024
+            ),
+            virtual_processes=PROCESSES,
+            redundancy=degree,
+            node_mtbf=NODE_MTBF,
+            checkpoint_cost=CHECKPOINT_COST,
+            restart_cost=RESTART_COST,
+            expected_base_time=BASE_TIME,
+            alpha_estimate=ALPHA,
+            network_bandwidth=2e7,
+            network_latency=5e-5,
+            seed=seed,
+        )
+    ).run()
+    return report.total_time
+
+
+def main() -> None:
+    model = CombinedModel(
+        virtual_processes=PROCESSES,
+        redundancy=1.0,
+        node_mtbf=NODE_MTBF,
+        alpha=ALPHA,
+        base_time=BASE_TIME,
+        checkpoint_cost=CHECKPOINT_COST,
+        restart_cost=RESTART_COST,
+        exact_reliability=True,  # sim scale: t ~ theta
+    )
+    pick = recommend(model, grid=(1.0, 1.5, 2.0, 2.5, 3.0))
+    print(f"advisor says: run {pick.redundancy}x, checkpoint every "
+          f"{pick.checkpoint_interval:.2f} s ({pick.rationale})\n")
+
+    rows = []
+    empirical = {}
+    for degree in (1.0, 1.5, 2.0, 2.5, 3.0):
+        measured = simulated_time(degree)
+        modeled = next(
+            p.total_time for p in pick.candidates if p.redundancy == degree
+        )
+        empirical[degree] = measured
+        rows.append(
+            [
+                f"{degree}x" + (" <- advised" if degree == pick.redundancy else ""),
+                round(modeled, 2),
+                round(measured, 2),
+            ]
+        )
+    print(render_table(
+        ["degree", "modeled T [s]", "simulated T [s]"],
+        rows,
+        title="Advisor pick vs fault-injected simulation",
+    ))
+    best = min(empirical, key=empirical.get)
+    ranked = sorted(empirical, key=empirical.get)
+    position = ranked.index(pick.redundancy) + 1
+    print(f"\nempirical best: {best}x; the advised {pick.redundancy}x ranks "
+          f"#{position} of {len(ranked)} in this (single, noisy) run — the "
+          f"same agreement level the paper reports between its model and "
+          f"its measured Table 4.")
+
+
+if __name__ == "__main__":
+    main()

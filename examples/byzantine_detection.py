@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""RedMPI's bonus feature: detecting (and out-voting) corrupt replicas.
+
+Beyond fail-stop tolerance, the redundancy layer compares every
+replica's copy of every message.  With dual redundancy a silently
+corrupted message is *detected*; with triple redundancy the corrupt
+copy is *voted out* and the application never sees it (Section 2's
+description of RedMPI).  This script injects a Byzantine replica that
+flips values in some of its messages and shows both behaviours, in
+both transfer modes (All-to-all and Msg-PlusHash).
+
+Run:  python examples/byzantine_detection.py
+"""
+
+import numpy as np
+
+from repro.errors import SimulationDeadlock, VotingError
+from repro.mpi import SimMPI, ops
+from repro.redundancy import (
+    ALL_TO_ALL,
+    MSG_PLUS_HASH,
+    RedComm,
+    ReplicaMap,
+    SphereTracker,
+)
+from repro.simkit import Environment
+from repro.util import render_table
+
+
+def run_case(redundancy: float, mode: str):
+    """4 virtual ranks; virtual rank 1's last replica is Byzantine."""
+    env = Environment()
+    replica_map = ReplicaMap(4, redundancy)
+    tracker = SphereTracker(replica_map)
+    world = SimMPI(env, size=replica_map.total_physical)
+    byzantine = replica_map.replicas_of(1)[-1]
+
+    def corruptor(sender, receiver, payload):
+        if sender == byzantine and isinstance(payload, np.ndarray):
+            corrupted = payload.copy()
+            corrupted[0] += 1e6  # a silent bit-flip-like error
+            return corrupted
+        return payload
+
+    outcomes = {}
+
+    def program(ctx):
+        red = RedComm(ctx, replica_map, tracker, mode=mode, corruptor=corruptor)
+        local = np.full(64, float(red.rank))
+        try:
+            total = yield from red.allreduce(local, ops.SUM)
+            outcomes[ctx.rank] = ("ok", float(total[0]))
+        except VotingError as error:
+            outcomes[ctx.rank] = ("detected", str(error)[:40])
+
+    world.spawn(program)
+    try:
+        world.run()
+    except SimulationDeadlock:
+        # A rank that detects corruption aborts its collective; peers
+        # then block forever — exactly how a real job would hang until
+        # torn down.  Detection has been recorded at this point.
+        pass
+    voted_out = world.counters["corrupt_copies_voted_out"]
+    statuses = {status for status, _ in outcomes.values()}
+    return statuses, voted_out, outcomes
+
+
+def main() -> None:
+    rows = []
+    for redundancy, mode in (
+        (2.0, ALL_TO_ALL),
+        (3.0, ALL_TO_ALL),
+        (3.0, MSG_PLUS_HASH),
+    ):
+        statuses, voted_out, outcomes = run_case(redundancy, mode)
+        if statuses == {"ok"}:
+            verdict = f"corrected ({int(voted_out)} copies voted out)"
+            answer = next(v for s, v in outcomes.values() if s == "ok")
+        else:
+            verdict = "detected, not correctable"
+            answer = "-"
+        rows.append([f"{redundancy}x", mode, verdict, answer])
+    print(
+        render_table(
+            ["degree", "mode", "outcome", "allreduce[0]"],
+            rows,
+            title="Byzantine replica injected into virtual rank 1",
+        )
+    )
+    print(
+        "\nExpected: 2x detects the corruption but cannot tell which copy "
+        "is right; 3x All-to-all silently corrects it (the correct sum "
+        "0+1+2+3 = 6 reaches the application).  3x Msg-PlusHash saves "
+        "bandwidth but weakens correction: a receiver whose designated "
+        "payload carrier *is* the Byzantine replica holds only digests of "
+        "the correct message — it can prove corruption but cannot "
+        "reconstruct the payload locally (the mode's documented trade-off)."
+    )
+
+
+if __name__ == "__main__":
+    main()

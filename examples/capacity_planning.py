@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Capacity planning: the paper's "tuning knob" as a decision tool.
+
+An HPC operator has a fixed pool of nodes and a queue of 128-hour
+jobs.  Should they run each job plain, or at 2x redundancy on twice
+the nodes?  The paper's Fig. 14 argument: past the throughput
+break-even point, two dual-redundant jobs finish inside one plain
+job's wallclock — redundancy *increases* cluster throughput.
+
+This script finds the break-even for a machine family and prints a
+throughput table, plus a weighted-cost view for users who price
+node-hours and deadlines differently.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import units
+from repro.models import (
+    CombinedModel,
+    sweep_redundancy,
+    throughput_break_even,
+    weighted_cost,
+)
+from repro.util import render_table
+
+
+def machine(processes: int) -> CombinedModel:
+    return CombinedModel(
+        virtual_processes=processes,
+        redundancy=1.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(8),
+        restart_cost=units.minutes(12),
+    )
+
+
+def main() -> None:
+    break_even = throughput_break_even(machine(1000), redundancy=2.0, jobs=2)
+    print(f"Throughput break-even: from {break_even.processes:,} processes, "
+          f"two 2x jobs finish within one 1x job "
+          f"(paper: 78,536 at its settings)\n")
+
+    rows = []
+    for processes in (10_000, 40_000, break_even.processes, 150_000):
+        plain = machine(processes).total_time_or_inf()
+        redundant = machine(processes).with_redundancy(2.0).total_time_or_inf()
+        jobs_per_month_plain = units.days(30) / plain if plain > 0 else 0
+        jobs_per_month_dual = units.days(30) / redundant / 2  # 2x nodes
+        rows.append(
+            [
+                f"{processes:,}",
+                round(units.to_hours(plain), 1),
+                round(units.to_hours(redundant), 1),
+                round(jobs_per_month_plain, 2),
+                round(jobs_per_month_dual, 2),
+            ]
+        )
+    print(
+        render_table(
+            ["processes", "T(1x) [h]", "T(2x) [h]",
+             "jobs/month @1x", "jobs/month per node-pool @2x"],
+            rows,
+            title="Capacity computing: throughput per fixed node pool",
+        )
+    )
+
+    # Weighted cost: users weigh deadline vs node budget differently.
+    base = machine(80_000)
+    reference = base.evaluate()
+    rows = []
+    for label, time_weight, resource_weight in (
+        ("deadline-driven", 1.0, 0.1),
+        ("balanced", 1.0, 1.0),
+        ("budget-driven", 0.1, 1.0),
+    ):
+        costs = {}
+        for point in sweep_redundancy(base, grid=(1.0, 1.5, 2.0, 2.5, 3.0)):
+            if point.result is None:
+                continue
+            costs[point.redundancy] = weighted_cost(
+                point.result, time_weight, resource_weight, reference=reference
+            )
+        best = min(costs, key=costs.get)
+        rows.append([label, time_weight, resource_weight, f"{best}x",
+                     round(costs[best], 3)])
+    print()
+    print(
+        render_table(
+            ["user profile", "w_time", "w_nodes", "best degree", "cost"],
+            rows,
+            title="The tuning knob: optimal degree under different cost weights",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Run a real CG solve through the full fault-tolerance stack.
+
+This is the paper's Section 5 experiment in miniature: a conjugate-
+gradient solver (the NPB CG stand-in) runs on the simulated cluster
+under RedMPI-style redundancy, coordinated checkpointing at an interval
+derived from Daly's formula, and a Poisson failure injector.  The
+script verifies that the numerical answer after failures and rollbacks
+is bit-identical to a failure-free run.
+
+Run:  python examples/fault_injected_cg.py
+"""
+
+from repro.orchestration import JobConfig, ResilientJob
+from repro.util import render_table
+from repro.workloads import ConjugateGradientWorkload
+
+
+def factory() -> ConjugateGradientWorkload:
+    return ConjugateGradientWorkload(
+        grid=10, total_steps=80, cycle_length=35, flops_per_second=5e3
+    )
+
+
+def main() -> None:
+    # Reference: failure-free, no redundancy, no checkpointing.
+    clean = ResilientJob(
+        JobConfig(workload_factory=factory, virtual_processes=4,
+                  checkpointing=False)
+    ).run()
+    print(f"failure-free reference: T = {clean.total_time:.2f} s, "
+          f"residual = {clean.result['residual']:.3e}")
+
+    rows = []
+    for degree in (1.0, 1.5, 2.0, 3.0):
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=factory,
+                virtual_processes=4,
+                redundancy=degree,
+                node_mtbf=3.0,                 # very hostile machine
+                checkpoint_cost=0.05,
+                restart_cost=0.2,
+                expected_base_time=clean.total_time,
+                alpha_estimate=0.2,            # Daly interval derived
+                seed=2012,
+            )
+        ).run()
+        exact = abs(report.result["checksum"] - clean.result["checksum"]) < 1e-9
+        rows.append(
+            [
+                f"{degree}x",
+                round(report.total_time, 2),
+                report.physical_processes,
+                report.failures_injected,
+                report.rollbacks,
+                report.checkpoints_committed,
+                "yes" if exact else "NO",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["degree", "T [s]", "procs", "failures", "rollbacks",
+             "checkpoints", "answer exact"],
+            rows,
+            title="CG under injected failures (node MTBF = 3 s, hostile)",
+        )
+    )
+    print("\nNote how redundancy converts job-killing failures into "
+          "absorbed replica deaths: rollbacks vanish as the degree grows, "
+          "while the failure-free communication overhead rises — the "
+          "trade-off the paper's model optimises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Package version constant.
+
+Kept in its own module so that subsystems (and ``repro.cli --version``)
+can import it without importing the full package graph.
+"""
+
+__version__ = "1.0.0"

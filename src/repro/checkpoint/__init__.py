@@ -1,0 +1,41 @@
+"""checkpoint — coordinated checkpoint/restart on simulated stable storage.
+
+The BLCR + OpenMPI stack of the paper's experiments, rebuilt for the
+simulator:
+
+* :mod:`storage` — stable storage with bandwidth/latency and channel
+  contention, two-phase (staged → committed) image sets so a failure
+  mid-checkpoint can never corrupt the recovery line;
+* :mod:`image` — per-process images: real serialised workload state
+  with integrity digests (restart actually restores the numbers);
+* :mod:`coordinator` — the OpenMPI-style all-to-all bookmark protocol:
+  quiesce every channel (sent == delivered) before capturing;
+* :mod:`chandy_lamport` — the classic marker-based distributed
+  snapshot, as an alternative coordination protocol;
+* :mod:`service` — the checkpointer "background process" of Section 5:
+  a Daly-interval timer plus the cooperative capture path application
+  ranks call at step boundaries;
+* :mod:`restart` — the recovery line: roll back to the last committed
+  set, restore states, count rework;
+* :mod:`incremental` — incremental / forked / compressed checkpointing
+  variants (the Section 2 optimisation taxonomy), for ablations.
+"""
+
+from .storage import StableStorage, StoredBlob
+from .image import ProcessImage, capture_image, restore_image
+from .coordinator import BookmarkCoordinator
+from .service import CheckpointConfig, CheckpointService
+from .restart import RecoveryLine, RestartManager
+
+__all__ = [
+    "BookmarkCoordinator",
+    "CheckpointConfig",
+    "CheckpointService",
+    "ProcessImage",
+    "RecoveryLine",
+    "RestartManager",
+    "StableStorage",
+    "StoredBlob",
+    "capture_image",
+    "restore_image",
+]

@@ -1,0 +1,207 @@
+"""The checkpointer: the second "background process" of Section 5.
+
+The paper's harness runs a checkpointer that computes the optimal
+interval from Eqs. 15 and 10, arms a timer, and checkpoints the whole
+application when it fires.  Here the timer decision is made collectively
+at workload step boundaries (application-level checkpointing): every
+rank contributes "is the interval up?" to a logical-OR allreduce, so
+all replicas of all virtual ranks agree on *whether* call ``k``
+checkpoints — the coordination itself costs messages, which is part of
+the measured overhead, as in the real system.
+
+The checkpoint path:
+
+1. collective decision (LOR allreduce);
+2. barrier + channel quiescence (bookmark coordinator);
+3. capture: serialise workload state into a per-virtual-rank image;
+4. persist: either timed storage writes (emergent cost) or a fixed
+   pause of ``fixed_cost`` seconds (the paper's measured c = 120 s);
+5. barrier + atomic commit of the new recovery line by the lead
+   replica of virtual rank 0.
+
+A failure anywhere in 1-4 leaves the previous recovery line intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigurationError
+from ..mpi import ops
+from .coordinator import BookmarkCoordinator
+from .image import capture_image
+from .restart import RestartManager
+from .storage import StableStorage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.runtime import SimMPI
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """How a job checkpoints.
+
+    Attributes
+    ----------
+    interval:
+        Seconds between checkpoints (``delta``); the orchestrator
+        usually derives it from Daly's Eq. 15 at the system MTBF.
+    fixed_cost:
+        If set, every checkpoint pauses the application exactly this
+        long (per-rank, in parallel) and images are staged untimed —
+        matching the paper's constant measured ``c``.  If ``None``, the
+        cost is emergent from storage bandwidth/contention.
+    bookmark_exchange:
+        Run the all-to-all bookmark round before quiescing (costs one
+        alltoall; the quiescence check itself is always performed).
+    quiesce_poll:
+        Poll period while draining channels.
+    forked:
+        Forked-checkpoint mode: the application resumes after
+        ``fork_cost`` and the storage write proceeds in the background
+        (Section 2's forked-checkpointing optimisation).  Only
+        meaningful with ``fixed_cost=None``.
+    fork_cost:
+        Pause charged to the application in forked mode.
+    """
+
+    interval: float
+    fixed_cost: Optional[float] = None
+    bookmark_exchange: bool = False
+    quiesce_poll: float = 1e-4
+    forked: bool = False
+    fork_cost: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {self.interval}")
+        if self.fixed_cost is not None and self.fixed_cost < 0:
+            raise ConfigurationError(
+                f"fixed_cost must be >= 0, got {self.fixed_cost}"
+            )
+        if self.quiesce_poll <= 0:
+            raise ConfigurationError(
+                f"quiesce_poll must be > 0, got {self.quiesce_poll}"
+            )
+        if self.forked and self.fixed_cost is not None:
+            raise ConfigurationError("forked mode requires an emergent cost")
+        if self.fork_cost < 0:
+            raise ConfigurationError(f"fork_cost must be >= 0, got {self.fork_cost}")
+
+
+class CheckpointService:
+    """Per-attempt coordinated-checkpoint driver (shared by all ranks)."""
+
+    def __init__(
+        self,
+        runtime: "SimMPI",
+        storage: StableStorage,
+        restart_manager: RestartManager,
+        config: CheckpointConfig,
+    ) -> None:
+        self.runtime = runtime
+        self.storage = storage
+        self.restart_manager = restart_manager
+        self.config = config
+        self.env = runtime.env
+        self._last_checkpoint = self.env.now
+        self._participants = 0
+        self.checkpoints_taken = 0
+        self.time_in_checkpoints = 0.0
+        self._coordinator = BookmarkCoordinator(runtime, config.quiesce_poll)
+        self._forked_writes = {}
+
+    # -- injector interface ---------------------------------------------------
+
+    @property
+    def cr_active(self) -> bool:
+        """True while any rank is inside the checkpoint path.
+
+        The failure injector consults this when the experiment
+        suppresses failures during C/R (the paper's setup, Section 6
+        observation 5).
+        """
+        return self._participants > 0
+
+    # -- application interface ---------------------------------------------------
+
+    def due(self) -> bool:
+        """Has the checkpoint interval elapsed (this rank's local view)?"""
+        return (self.env.now - self._last_checkpoint) >= self.config.interval
+
+    def at_step_boundary(self, comm, workload, step: int):
+        """Generator: collective decision + checkpoint if due.
+
+        ``comm`` is the rank's (virtual) communicator, ``workload`` the
+        live workload whose state would be captured, ``step`` the
+        just-finished step index.  Returns True when a checkpoint was
+        taken at this boundary.
+        """
+        verdict = yield from comm.allreduce(int(self.due()), ops.LOR)
+        if not verdict:
+            return False
+        yield from self.take_checkpoint(comm, workload, step)
+        return True
+
+    def take_checkpoint(self, comm, workload, step: int):
+        """Generator: the full coordinated-checkpoint path (steps 2-5)."""
+        started = self.env.now
+        self._participants += 1
+        try:
+            yield from comm.barrier()
+            if self.config.bookmark_exchange:
+                yield from self._coordinator.exchange_bookmarks(comm)
+            yield from self._coordinator.quiesce()
+
+            set_id = f"step{step + 1}"
+            image = capture_image({"step": step + 1, "state": workload.state()})
+            key = RestartManager.key_for(comm.rank)
+            if self.config.fixed_cost is not None:
+                self.storage.stage_untimed(set_id, key, image.data)
+                yield self.env.timeout(self.config.fixed_cost)
+            elif self.config.forked:
+                # Forked checkpointing: the application resumes after the
+                # fork pause; the image write drains in the background.
+                yield self.env.timeout(self.config.fork_cost)
+                writer = self.env.process(
+                    self.storage.write(set_id, key, image.data),
+                    name=f"forked-ckpt-{key}",
+                )
+                self._forked_writes.setdefault(set_id, []).append(writer)
+            else:
+                yield from self.storage.write(set_id, key, image.data)
+
+            yield from comm.barrier()
+            if self._is_committer(comm):
+                self.checkpoints_taken += 1
+                writers = self._forked_writes.pop(set_id, None)
+                if writers:
+                    # Commit only once every background write has landed;
+                    # the application does not wait for this.
+                    self.env.process(
+                        self._commit_after(writers, set_id, step),
+                        name=f"commit-{set_id}",
+                    )
+                else:
+                    self.restart_manager.note_commit(set_id, step + 1, self.env.now)
+            self._last_checkpoint = self.env.now
+        finally:
+            self._participants -= 1
+            self.time_in_checkpoints += self.env.now - started
+
+    def _commit_after(self, writers, set_id: str, step: int):
+        """Generator: commit the set once all forked writers finish."""
+        from ..simkit.events import AllOf
+
+        yield AllOf(self.env, writers)
+        self.restart_manager.note_commit(set_id, step + 1, self.env.now)
+
+    def _is_committer(self, comm) -> bool:
+        """Exactly one physical process commits: virtual 0's lead replica."""
+        if comm.rank != 0:
+            return False
+        tracker = getattr(comm, "tracker", None)
+        if tracker is None:
+            return True  # plain Communicator: rank 0 is unique
+        return tracker.lead_replica(0) == comm.physical_rank

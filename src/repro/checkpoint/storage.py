@@ -1,0 +1,158 @@
+"""Stable storage: the durability abstraction checkpoints write to.
+
+Models a parallel file system with finite aggregate bandwidth, fixed
+per-operation latency and a limited number of concurrent I/O channels
+(writes queue when all channels are busy — this is how checkpoint cost
+grows with the number of simultaneously-writing processes, one of the
+scale effects behind Table 2's exploding checkpoint share).
+
+Write sets are two-phase: images are *staged* under a set id and become
+the recovery line only at :meth:`commit_set`.  A crash between staging
+and commit leaves the previous committed set intact.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import CheckpointError, ConfigurationError, CorruptImageError, NoCheckpointError
+from ..simkit import Environment, Resource
+
+
+@dataclass
+class StoredBlob:
+    """One durable object: payload bytes plus an integrity digest."""
+
+    key: str
+    data: bytes
+    crc: int
+    written_at: float
+
+    def verify(self) -> None:
+        """Raise :class:`CorruptImageError` if the payload was damaged."""
+        if zlib.crc32(self.data) != self.crc:
+            raise CorruptImageError(f"blob {self.key!r} failed its integrity check")
+
+
+class StableStorage:
+    """Bandwidth/latency/contention model plus a blob store.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    write_bandwidth / read_bandwidth:
+        Aggregate bytes per second per channel.
+    latency:
+        Fixed seconds per operation (metadata round trip).
+    channels:
+        Concurrent I/O streams; further operations queue FIFO.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        write_bandwidth: float = 1e9,
+        read_bandwidth: float = 2e9,
+        latency: float = 1e-3,
+        channels: int = 8,
+    ) -> None:
+        if write_bandwidth <= 0 or read_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be > 0")
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        self.env = env
+        self.write_bandwidth = write_bandwidth
+        self.read_bandwidth = read_bandwidth
+        self.latency = latency
+        self._channels = Resource(env, capacity=channels)
+        self._staged: Dict[str, Dict[str, StoredBlob]] = {}
+        self._committed: Dict[str, StoredBlob] = {}
+        self._committed_set: Optional[str] = None
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- timed operations ---------------------------------------------------
+
+    def write(self, set_id: str, key: str, data: bytes):
+        """Generator: stage ``data`` under (set_id, key), charging I/O time."""
+        grant = self._channels.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.latency + len(data) / self.write_bandwidth)
+            blob = StoredBlob(
+                key=key, data=data, crc=zlib.crc32(data), written_at=self.env.now
+            )
+            self._staged.setdefault(set_id, {})[key] = blob
+            self.bytes_written += len(data)
+        finally:
+            self._channels.release()
+
+    def stage_untimed(self, set_id: str, key: str, data: bytes) -> None:
+        """Stage a blob without charging I/O time.
+
+        Used when the experiment charges a *fixed* checkpoint cost
+        (the paper's measured c = 120 s) instead of the emergent
+        storage time, but the images must still exist for restart.
+        """
+        blob = StoredBlob(
+            key=key, data=data, crc=zlib.crc32(data), written_at=self.env.now
+        )
+        self._staged.setdefault(set_id, {})[key] = blob
+        self.bytes_written += len(data)
+
+    def read(self, key: str):
+        """Generator: read a committed blob, charging I/O time."""
+        blob = self._committed.get(key)
+        if blob is None:
+            raise NoCheckpointError(f"no committed blob {key!r}")
+        grant = self._channels.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.latency + len(blob.data) / self.read_bandwidth)
+            self.bytes_read += len(blob.data)
+        finally:
+            self._channels.release()
+        blob.verify()
+        return blob.data
+
+    # -- set lifecycle ------------------------------------------------------
+
+    def commit_set(self, set_id: str) -> None:
+        """Atomically promote a staged set to the committed recovery line."""
+        staged = self._staged.pop(set_id, None)
+        if not staged:
+            raise CheckpointError(f"no staged blobs under set {set_id!r}")
+        self._committed = staged
+        self._committed_set = set_id
+
+    def abort_set(self, set_id: str) -> None:
+        """Discard a staged set (failure mid-checkpoint)."""
+        self._staged.pop(set_id, None)
+
+    @property
+    def committed_set(self) -> Optional[str]:
+        """Id of the current recovery line (None before first commit)."""
+        return self._committed_set
+
+    def committed_keys(self):
+        """Keys available in the committed set."""
+        return sorted(self._committed)
+
+    def peek(self, key: str) -> StoredBlob:
+        """Direct (untimed) access to a committed blob — test/debug hook."""
+        blob = self._committed.get(key)
+        if blob is None:
+            raise NoCheckpointError(f"no committed blob {key!r}")
+        return blob
+
+    def corrupt(self, key: str) -> None:
+        """Flip a byte of a committed blob — failure-injection test hook."""
+        blob = self.peek(key)
+        if not blob.data:
+            raise CheckpointError(f"blob {key!r} is empty; nothing to corrupt")
+        damaged = bytearray(blob.data)
+        damaged[0] ^= 0xFF
+        blob.data = bytes(damaged)

@@ -1,0 +1,173 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    repro-exp list
+    repro-exp run table2
+    repro-exp run fig13 max_processes=50000
+    repro-exp run table4 quick=true      # reduced grid
+    repro-exp advise --processes 50000 --mtbf 5y --base-time 128h \
+               --alpha 0.2 --checkpoint-cost 8min --restart-cost 12min
+
+Parameter overrides are ``key=value`` pairs; values are parsed as
+Python literals when possible (ints, floats, tuples, booleans), else
+kept as strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, List, Optional
+
+from . import units
+from ._version import __version__
+from .errors import ReproError
+from .experiments import list_experiments, run_experiment
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (SyntaxError, ValueError):
+        lowered = text.lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        return text
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"override {pair!r} is not key=value")
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = _parse_value(value.strip())
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Regenerate tables and figures from 'Combining Partial "
+        "Redundancy and Checkpointing for HPC' (ICDCS 2012).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command")
+    commands.add_parser("list", help="list available experiments")
+    runner = commands.add_parser("run", help="run one experiment")
+    runner.add_argument("experiment", help="experiment id (see 'list')")
+    runner.add_argument(
+        "overrides",
+        nargs="*",
+        help="parameter overrides as key=value",
+    )
+    advisor = commands.add_parser(
+        "advise",
+        help="recommend a redundancy degree and checkpoint interval",
+    )
+    advisor.add_argument("--processes", type=int, required=True,
+                         help="application (virtual) process count N")
+    advisor.add_argument("--mtbf", required=True,
+                         help="per-node MTBF, e.g. 5y, 18h")
+    advisor.add_argument("--base-time", required=True,
+                         help="failure-free run time, e.g. 128h, 46min")
+    advisor.add_argument("--alpha", type=float, default=0.2,
+                         help="communication/computation ratio (default 0.2)")
+    advisor.add_argument("--checkpoint-cost", default="8min",
+                         help="cost of one checkpoint (default 8min)")
+    advisor.add_argument("--restart-cost", default="12min",
+                         help="cost of one restart (default 12min)")
+    advisor.add_argument("--node-budget", type=int, default=None,
+                         help="maximum physical processes available")
+    advisor.add_argument("--resource-weight", type=float, default=0.0,
+                         help="cost-function weight on node usage")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into `head` or similar closed early; not an error.
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(experiment)
+        return 0
+    if args.command == "run":
+        try:
+            overrides = _parse_overrides(args.overrides)
+            result = run_experiment(args.experiment, **overrides)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0
+    if args.command == "advise":
+        try:
+            print(_advise(args))
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    parser.print_help()
+    return 1
+
+
+def _advise(args) -> str:
+    """Build the model from CLI arguments and render a recommendation."""
+    from .models import CombinedModel, recommend
+    from .util import render_table
+
+    model = CombinedModel(
+        virtual_processes=args.processes,
+        redundancy=1.0,
+        node_mtbf=units.parse_duration(args.mtbf),
+        alpha=args.alpha,
+        base_time=units.parse_duration(args.base_time),
+        checkpoint_cost=units.parse_duration(args.checkpoint_cost),
+        restart_cost=units.parse_duration(args.restart_cost),
+    )
+    outcome = recommend(
+        model,
+        node_budget=args.node_budget,
+        resource_weight=args.resource_weight,
+    )
+    rows = []
+    for point in outcome.candidates:
+        marker = "<-- run this" if point.redundancy == outcome.redundancy else ""
+        time_text = (
+            f"{units.to_hours(point.total_time):.1f}"
+            if point.result is not None
+            else "diverges"
+        )
+        rows.append([f"{point.redundancy}x", time_text, marker])
+    table = render_table(
+        ["degree", "T_total [h]", ""],
+        rows,
+        title=f"Candidates for N={args.processes:,}, node MTBF {args.mtbf}",
+    )
+    lines = [
+        table,
+        "",
+        f"recommendation: {outcome.redundancy}x redundancy, checkpoint every "
+        f"{units.fmt_duration(outcome.checkpoint_interval)}",
+        f"expected completion: {units.fmt_duration(outcome.total_time)} on "
+        f"{outcome.total_processes:,} processes "
+        f"(speedup vs plain: {outcome.speedup_vs_plain:.2f}x)",
+        f"why: {outcome.rationale}",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The cluster: node inventory, failure bookkeeping, spare replacement.
+
+Implements the paper's assumption 5 — "spare nodes are readily
+available to replace a failed node" — by minting a fresh node whenever
+one fails and a replacement is requested.  The retired node keeps its
+index (it stays addressable for post-mortem queries); the spare gets a
+new index at the end of the inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import AllocationError, ConfigurationError
+from .node import Node, NodeState
+
+
+class Machine:
+    """A cluster of failure-independent nodes.
+
+    Parameters
+    ----------
+    node_count:
+        Initial inventory size.
+    cores_per_node:
+        Core slots per node (the paper's testbed: 16, 14 usable).
+    node_mtbf:
+        MTBF assigned to every node (seconds; ``inf`` = never fails).
+    spares:
+        Maximum number of spare replacements that may be minted;
+        ``None`` means unlimited (the paper's assumption).
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        cores_per_node: int = 16,
+        node_mtbf: float = float("inf"),
+        spares: Optional[int] = None,
+    ) -> None:
+        if node_count < 1:
+            raise ConfigurationError(f"node_count must be >= 1, got {node_count}")
+        if spares is not None and spares < 0:
+            raise ConfigurationError(f"spares must be >= 0, got {spares}")
+        self.cores_per_node = cores_per_node
+        self.node_mtbf = node_mtbf
+        self._nodes: List[Node] = [
+            Node(i, cores=cores_per_node, mtbf=node_mtbf) for i in range(node_count)
+        ]
+        self._spares_remaining = spares
+        self._death_watchers: List[Callable[[Node], None]] = []
+
+    # -- inventory --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> Node:
+        """Look up a node by index."""
+        try:
+            return self._nodes[index]
+        except IndexError as exc:
+            raise ConfigurationError(f"no node with index {index}") from exc
+
+    @property
+    def nodes(self) -> List[Node]:
+        """The full node inventory (including retired nodes)."""
+        return list(self._nodes)
+
+    def up_nodes(self) -> List[Node]:
+        """Nodes currently able to run ranks."""
+        return [node for node in self._nodes if node.is_up]
+
+    # -- failure handling --------------------------------------------------
+
+    def on_node_death(self, watcher: Callable[[Node], None]) -> None:
+        """Register a callback invoked whenever a node fails."""
+        self._death_watchers.append(watcher)
+
+    def fail_node(self, index: int, now: float) -> Node:
+        """Fail-stop the node at ``index`` and notify watchers."""
+        node = self.node(index)
+        node.fail(now)
+        for watcher in list(self._death_watchers):
+            watcher(node)
+        return node
+
+    def replace_node(self, index: int) -> Node:
+        """Retire a failed node and mint a spare in its stead.
+
+        Returns the fresh node.  The paper's assumption 5 makes spares
+        always available; bound them with the ``spares`` parameter to
+        study scarcity.
+        """
+        failed = self.node(index)
+        if failed.state != NodeState.DOWN:
+            raise AllocationError(f"node {index} is not down; cannot replace")
+        if self._spares_remaining is not None:
+            if self._spares_remaining == 0:
+                raise AllocationError("spare pool exhausted")
+            self._spares_remaining -= 1
+        failed.retire()
+        spare = Node(len(self._nodes), cores=self.cores_per_node, mtbf=self.node_mtbf)
+        self._nodes.append(spare)
+        return spare
+
+    # -- statistics ---------------------------------------------------------
+
+    def failure_count(self) -> int:
+        """Nodes that have failed (down or retired) so far."""
+        return sum(1 for node in self._nodes if node.state != NodeState.UP)
+
+    def summary(self) -> Dict[str, int]:
+        """State histogram of the inventory."""
+        histogram: Dict[str, int] = {state.value: 0 for state in NodeState}
+        for node in self._nodes:
+            histogram[node.state.value] += 1
+        return histogram

@@ -1,0 +1,84 @@
+"""A cluster node: the unit of failure.
+
+The paper (Section 4, assumption 1) treats a node/socket as the unit
+that fails independently with exponential interarrival times.  A node
+here carries its identity, core count, MTBF and an up/down state with
+validated transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import ConfigurationError, NodeStateError
+
+
+class NodeState(enum.Enum):
+    """Lifecycle states of a node."""
+
+    UP = "up"
+    DOWN = "down"
+    RETIRED = "retired"  # failed and replaced by a spare
+
+
+class Node:
+    """One failure-independent execution unit.
+
+    Attributes
+    ----------
+    index:
+        Stable identity within the machine (also the topology index).
+    cores:
+        Core slots available to application ranks.
+    mtbf:
+        Mean time between failures of this node (seconds).
+    """
+
+    __slots__ = ("index", "cores", "mtbf", "_state", "failed_at")
+
+    def __init__(self, index: int, cores: int = 16, mtbf: float = float("inf")) -> None:
+        if index < 0:
+            raise ConfigurationError(f"node index must be >= 0, got {index}")
+        if cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {cores}")
+        if mtbf <= 0:
+            raise ConfigurationError(f"mtbf must be > 0, got {mtbf}")
+        self.index = index
+        self.cores = cores
+        self.mtbf = mtbf
+        self._state = NodeState.UP
+        self.failed_at: Optional[float] = None
+
+    @property
+    def state(self) -> NodeState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def is_up(self) -> bool:
+        """True while the node can run ranks."""
+        return self._state == NodeState.UP
+
+    def fail(self, now: float) -> None:
+        """Transition UP → DOWN (fail-stop)."""
+        if self._state != NodeState.UP:
+            raise NodeStateError(f"node {self.index} cannot fail from {self._state}")
+        self._state = NodeState.DOWN
+        self.failed_at = now
+
+    def repair(self) -> None:
+        """Transition DOWN → UP (maintenance brought it back)."""
+        if self._state != NodeState.DOWN:
+            raise NodeStateError(f"node {self.index} cannot repair from {self._state}")
+        self._state = NodeState.UP
+        self.failed_at = None
+
+    def retire(self) -> None:
+        """Transition DOWN → RETIRED (replaced by a spare)."""
+        if self._state != NodeState.DOWN:
+            raise NodeStateError(f"node {self.index} cannot retire from {self._state}")
+        self._state = NodeState.RETIRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} {self._state.value} cores={self.cores}>"

@@ -1,0 +1,163 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+
+The hierarchy mirrors the package layout: each substrate owns a small
+family of exceptions, and cross-cutting conditions (bad user parameters)
+live at the top.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain.
+
+    Inherits :class:`ValueError` so idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+# --------------------------------------------------------------------------
+# Discrete-event simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ProcessInterrupted(SimulationError):
+    """Raised *inside* a simulated process when it is interrupted.
+
+    Carries the interrupt ``cause`` (an arbitrary object supplied by the
+    interrupter, e.g. a :class:`~repro.faults.injector.FailureEvent`).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class StopProcess(SimulationError):
+    """Internal signal used to tear down a simulated process."""
+
+
+# --------------------------------------------------------------------------
+# Cluster / machine model
+# --------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for machine-model errors."""
+
+
+class AllocationError(ClusterError):
+    """Not enough healthy nodes (or spares) to satisfy a placement."""
+
+
+class NodeStateError(ClusterError):
+    """Illegal node state transition (e.g. failing an already-down node)."""
+
+
+# --------------------------------------------------------------------------
+# Simulated MPI runtime
+# --------------------------------------------------------------------------
+
+
+class MPIError(ReproError):
+    """Base class for simulated-MPI errors."""
+
+
+class RankFailedError(MPIError):
+    """A communication peer (or the caller itself) is dead."""
+
+    def __init__(self, rank: int, detail: str = "") -> None:
+        msg = f"rank {rank} has failed"
+        if detail:
+            msg = f"{msg}: {detail}"
+        super().__init__(msg)
+        self.rank = rank
+
+
+class CommunicatorError(MPIError):
+    """Invalid communicator usage (bad rank, finalized world, ...)."""
+
+
+class RequestError(MPIError):
+    """Invalid request-handle usage (double wait, foreign handle, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Redundancy layer
+# --------------------------------------------------------------------------
+
+
+class RedundancyError(ReproError):
+    """Base class for redundancy-layer errors."""
+
+
+class SphereExhaustedError(RedundancyError):
+    """Every physical replica of a virtual process has failed.
+
+    This is the condition that forces a job-level rollback: the virtual
+    process can no longer make progress (Section 5, Figure 7 of the
+    paper).
+    """
+
+    def __init__(self, virtual_rank: int) -> None:
+        super().__init__(f"all replicas of virtual rank {virtual_rank} failed")
+        self.virtual_rank = virtual_rank
+
+
+class VotingError(RedundancyError):
+    """Replica messages disagreed and no majority could be formed."""
+
+
+# --------------------------------------------------------------------------
+# Checkpoint / restart
+# --------------------------------------------------------------------------
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/restart errors."""
+
+
+class NoCheckpointError(CheckpointError):
+    """Restart requested but stable storage holds no usable image set."""
+
+
+class CorruptImageError(CheckpointError):
+    """A stored process image failed its integrity check on read-back."""
+
+
+class CoordinationError(CheckpointError):
+    """The coordinated-checkpoint protocol could not quiesce channels."""
+
+
+# --------------------------------------------------------------------------
+# Analytic models
+# --------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for analytic-model errors."""
+
+
+class ModelDivergence(ModelError):
+    """The model has no finite solution for these parameters.
+
+    Raised, for example, when ``λ · t_RR >= 1`` in Eq. 14 — the expected
+    repair time per failure exceeds the mean time between failures, so
+    the job never completes in expectation.
+    """

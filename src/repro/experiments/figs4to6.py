@@ -1,0 +1,122 @@
+"""Figures 4-6 — modeled total time vs redundancy, three configurations.
+
+The paper evaluates the combined pipeline (Eqs. 1, 10, 14, 15) for a
+128-hour job under three (MTBF, alpha, checkpoint-cost) configurations
+and annotates T_min / T_max / T_{r=1}, the expected checkpoint count
+and the failure rate.  Headline observations reproduced here:
+
+* a redundancy level of 2 is the best choice in all three
+  configurations;
+* comparing configs 1 and 3 (c differing by 10x) shows Daly's interval
+  scaling as sqrt(10) and the checkpoint-time contribution shrinking
+  accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import units
+from ..models import CombinedModel, sweep_redundancy
+from ..util.plot import ascii_plot
+from .runner import ExperimentResult
+
+#: (name, node MTBF years, alpha, checkpoint cost s, restart cost s).
+DEFAULT_CONFIGS = (
+    ("config1", 5.0, 0.2, units.minutes(10), units.minutes(15)),
+    ("config2", 2.5, 0.2, units.minutes(10), units.minutes(15)),
+    ("config3", 5.0, 0.2, units.minutes(1), units.minutes(15)),
+)
+
+
+def sweep_configuration(
+    virtual_processes: int,
+    base_time: float,
+    mtbf_years: float,
+    alpha: float,
+    checkpoint_cost: float,
+    restart_cost: float,
+    degrees,
+):
+    """One figure's sweep; returns (points, annotations)."""
+    model = CombinedModel(
+        virtual_processes=virtual_processes,
+        redundancy=1.0,
+        node_mtbf=units.years(mtbf_years),
+        alpha=alpha,
+        base_time=base_time,
+        checkpoint_cost=checkpoint_cost,
+        restart_cost=restart_cost,
+    )
+    points = sweep_redundancy(model, degrees)
+    finite = [p for p in points if not math.isinf(p.total_time)]
+    best = min(finite, key=lambda p: p.total_time)
+    worst = max(finite, key=lambda p: p.total_time)
+    r1 = next(p for p in points if p.redundancy == 1.0)
+    annotations = {
+        "T_min_hours": units.to_hours(best.total_time),
+        "r_at_min": best.redundancy,
+        "T_max_hours": units.to_hours(worst.total_time),
+        "T_r1_hours": units.to_hours(r1.total_time) if r1.result else math.inf,
+        "chkpts_at_r1": (
+            r1.result.expected_checkpoints if r1.result else math.nan
+        ),
+        "delta_at_r1_minutes": (
+            units.to_minutes(r1.result.checkpoint_interval) if r1.result else math.nan
+        ),
+        "lambda_at_min_per_hour": best.result.failure_rate * 3600.0,
+    }
+    return points, annotations
+
+
+def run(
+    virtual_processes: int = 50_000,
+    base_time_hours: float = 128.0,
+    configs=DEFAULT_CONFIGS,
+    degree_step: float = 0.25,
+) -> ExperimentResult:
+    """Regenerate the three T_total(r) curves with annotations."""
+    degrees = [1.0 + degree_step * i for i in range(int(round(2.0 / degree_step)) + 1)]
+    base_time = units.hours(base_time_hours)
+    columns = {}
+    annotations = {}
+    for name, mtbf_years, alpha, c, r_cost in configs:
+        points, notes = sweep_configuration(
+            virtual_processes, base_time, mtbf_years, alpha, c, r_cost, degrees
+        )
+        columns[name] = [units.to_hours(p.total_time) for p in points]
+        annotations[name] = notes
+    rows = [
+        [round(degree, 2)] + [round(columns[name][i], 1) for name, *_ in configs]
+        for i, degree in enumerate(degrees)
+    ]
+    findings = {}
+    for name in columns:
+        for key, value in annotations[name].items():
+            findings[f"{name}/{key}"] = round(value, 3) if isinstance(value, float) else value
+    # Daly sqrt(10) check between config1 (c) and config3 (c/10).
+    ratio = (
+        annotations["config1"]["delta_at_r1_minutes"]
+        / annotations["config3"]["delta_at_r1_minutes"]
+    )
+    findings["delta_ratio_config1_over_config3"] = round(ratio, 3)
+    findings["expected_sqrt10"] = round(math.sqrt(10.0), 3)
+    plot = ascii_plot(
+        {name: (degrees, columns[name]) for name, *_ in configs},
+        title="T_total [h] vs redundancy degree",
+    )
+    return ExperimentResult(
+        experiment="figs4to6",
+        title=(
+            f"Figs. 4-6: modeled total time [h] vs redundancy "
+            f"(N={virtual_processes:,}, t={base_time_hours:.0f} h)"
+        ),
+        headers=["r"] + [name for name, *_ in configs],
+        rows=rows,
+        plot=plot,
+        findings=findings,
+        notes=[
+            f"{name}: theta={mt}y alpha={a} c={c:.0f}s R={rc:.0f}s"
+            for name, mt, a, c, rc in configs
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Experiment registry and the shared result record."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from ..util.tables import render_table
+
+#: experiment id -> module name (within repro.experiments).
+_REGISTRY = {
+    "table1": "table1",
+    "table2": "table2",
+    "table3": "table3",
+    "fig2": "fig2",
+    "figs4to6": "figs4to6",
+    "table4": "table4",
+    "table5": "table5",
+    "fig11": "fig11",
+    "fig12": "fig12",
+    "fig13": "fig13",
+    "fig14": "fig14",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment regeneration produced."""
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[List[Any]]
+    #: Free-form commentary: parameters used, acceptance checks, caveats.
+    notes: List[str] = field(default_factory=list)
+    #: Named scalar findings (crossover points, fit statistics, ...).
+    findings: Dict[str, Any] = field(default_factory=dict)
+    #: Optional ASCII rendering of the figure (line plots).
+    plot: str = ""
+
+    def render(self) -> str:
+        """The printable artifact (table + plot + notes + findings)."""
+        parts = [render_table(self.headers, self.rows, title=self.title)]
+        if self.plot:
+            parts.append("")
+            parts.append(self.plot)
+        if self.findings:
+            parts.append("")
+            for name in sorted(self.findings):
+                parts.append(f"  {name}: {self.findings[name]}")
+        if self.notes:
+            parts.append("")
+            parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment: str):
+    """Import and return the experiment module for an id."""
+    try:
+        module_name = _REGISTRY[experiment]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment {experiment!r}; known: {list_experiments()}"
+        ) from exc
+    return importlib.import_module(f"repro.experiments.{module_name}")
+
+
+def run_experiment(experiment: str, **params) -> ExperimentResult:
+    """Run an experiment by id with optional parameter overrides."""
+    return get_experiment(experiment).run(**params)

@@ -1,0 +1,195 @@
+"""Table 4 / Figures 8-9 — the simulated C/R + redundancy campaign.
+
+The paper's headline experiment: NPB CG (128 processes, 46 min
+failure-free) under RedMPI + BLCR on a 108-node cluster, with injected
+Poisson failures (node MTBF 6-30 h) and Daly-interval checkpointing,
+swept over redundancy 1x-3x in 0.25x steps.  The reported metric is
+total execution time in minutes; Figure 8 is the line-graph rendering
+and Figure 9 the surface rendering of the same matrix.
+
+Our campaign re-runs the experiment on the simulator at 1/8 the
+process count and a compressed time scale (see ``ScaledSetup``): one
+paper-minute is ``time_scale`` simulated seconds and MTBFs shrink by
+the process-count ratio so the *expected failure counts per run* match
+the paper's regime.  Expected shape (the paper's observations 1-4):
+
+* lowest time at high degrees (~3x) for the 6 h MTBF row;
+* lowest time at 2x for the 18-30 h rows;
+* partial degrees just above an integer (1.25x, 2.25x) are poor —
+  the sphere on the critical path already pays the next level's
+  communication amplification while the failure rate barely drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..models.redundancy import PAPER_REDUNDANCY_GRID
+from ..orchestration import JobConfig, run_redundancy_sweep
+from ..orchestration.campaign import cells_to_matrix
+from ..util.plot import ascii_heatmap, ascii_plot
+from ..workloads import SyntheticWorkload
+from .runner import ExperimentResult
+
+PAPER_MTBF_HOURS = (6.0, 12.0, 18.0, 24.0, 30.0)
+
+#: Paper Table 4, for side-by-side comparison [minutes].
+PAPER_TABLE4 = {
+    6.0: (275, 279, 212, 189, 146, 158, 139, 132, 123),
+    12.0: (201, 207, 167, 143, 103, 113, 98, 111, 125),
+    18.0: (184, 179, 148, 120, 72, 126, 88, 80, 84),
+    24.0: (159, 143, 133, 100, 67, 92, 78, 84, 83),
+    30.0: (136, 128, 110, 101, 66, 73, 80, 82, 84),
+}
+
+
+@dataclass(frozen=True)
+class ScaledSetup:
+    """The scaled-down stand-in for the paper's testbed run.
+
+    ``time_scale`` maps paper-minutes to simulated seconds; process
+    count shrinks 128 → ``virtual_processes`` and the per-node MTBF
+    shrinks by the same ratio on top of the time scaling, so the
+    expected number of failures per run matches the paper's regime.
+    """
+
+    virtual_processes: int = 16
+    steps: int = 100
+    compute_seconds: float = 0.035
+    message_bytes: int = 160 * 1024
+    network_bandwidth: float = 2e7
+    network_latency: float = 5e-5
+    #: paper-minute → simulated seconds.
+    time_scale: float = 0.1
+    #: paper checkpoint cost: 120 s = 2 paper-minutes.
+    checkpoint_cost_paper_minutes: float = 2.0
+    #: paper restart cost: 500 s ~= 8.33 paper-minutes.
+    restart_cost_paper_minutes: float = 500.0 / 60.0
+    alpha_estimate: float = 0.19
+    expected_base_time: float = 4.37  # simulated seconds, measured at r=1
+    base_seed: int = 20120612  # ICDCS 2012
+
+    def mtbf_to_sim(self, mtbf_hours: float) -> float:
+        """Scale a paper per-node MTBF into simulated seconds."""
+        paper_minutes = mtbf_hours * 60.0
+        process_ratio = 128.0 / self.virtual_processes
+        return paper_minutes * self.time_scale / process_ratio
+
+    def sim_to_paper_minutes(self, sim_seconds: float) -> float:
+        """Report a simulated duration in paper-minutes."""
+        return sim_seconds / self.time_scale
+
+    def job_config(self) -> JobConfig:
+        """The base job configuration (MTBF/degree filled by the sweep)."""
+        setup = self
+
+        def factory() -> SyntheticWorkload:
+            return SyntheticWorkload(
+                total_steps=setup.steps,
+                compute_seconds=setup.compute_seconds,
+                message_bytes=setup.message_bytes,
+            )
+
+        return JobConfig(
+            workload_factory=factory,
+            virtual_processes=self.virtual_processes,
+            seed=self.base_seed,
+            checkpoint_cost=self.checkpoint_cost_paper_minutes * self.time_scale,
+            restart_cost=self.restart_cost_paper_minutes * self.time_scale,
+            expected_base_time=self.expected_base_time,
+            alpha_estimate=self.alpha_estimate,
+            network_bandwidth=self.network_bandwidth,
+            network_latency=self.network_latency,
+        )
+
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    mtbf_hours: Sequence[float] = PAPER_MTBF_HOURS,
+    degrees: Sequence[float] = PAPER_REDUNDANCY_GRID,
+    quick: bool = False,
+    progress=None,
+) -> ExperimentResult:
+    """Run the campaign grid and render the Table 4 matrix.
+
+    ``quick=True`` shrinks the grid to 3 MTBFs x 5 degrees (handy from
+    the CLI); ``progress`` (optional) is called with each finished cell.
+    """
+    setup = setup or ScaledSetup()
+    if quick:
+        mtbf_hours = (6.0, 18.0, 30.0)
+        degrees = (1.0, 1.5, 2.0, 2.5, 3.0)
+    base = setup.job_config()
+    cells = run_redundancy_sweep(
+        base,
+        node_mtbfs=[setup.mtbf_to_sim(h) for h in mtbf_hours],
+        degrees=list(degrees),
+        progress=progress,
+    )
+    matrix = cells_to_matrix(cells)
+    rows = []
+    minima = {}
+    sim_mtbfs = [setup.mtbf_to_sim(h) for h in mtbf_hours]
+    for hours, sim_mtbf in zip(mtbf_hours, sim_mtbfs):
+        row_cells = matrix[sim_mtbf]
+        paper_minutes = {
+            degree: setup.sim_to_paper_minutes(minutes * 60.0)
+            for degree, minutes in row_cells.items()
+        }
+        best = min(paper_minutes, key=paper_minutes.get)
+        minima[f"{hours:.0f}h"] = best
+        rows.append(
+            [f"{hours:.0f} hrs"]
+            + [round(paper_minutes[degree], 1) for degree in degrees]
+        )
+    matrix_minutes = [[float(cell) for cell in row[1:]] for row in rows]
+    fig8 = ascii_plot(
+        {
+            f"{hours:.0f}h": (list(degrees), matrix_minutes[i])
+            for i, hours in enumerate(mtbf_hours)
+        },
+        title="Fig. 8 rendering: execution time [min] vs redundancy degree",
+    )
+    fig9 = ascii_heatmap(
+        matrix_minutes,
+        row_labels=[f"{hours:.0f}h" for hours in mtbf_hours],
+        column_labels=[f"{d}x" for d in degrees],
+        title="Fig. 9 rendering: execution-time surface (darker = slower)",
+    )
+    return ExperimentResult(
+        experiment="table4",
+        title=(
+            "Table 4: simulated C/R + redundancy execution time "
+            "[paper-minutes equivalent]"
+        ),
+        headers=["MTBF"] + [f"{d}x" for d in degrees],
+        rows=rows,
+        plot=fig8 + "\n\n" + fig9,
+        findings={
+            "argmin_degree_per_mtbf": minima,
+            "paper_argmin": {"6h": 3.0, "12h": 2.5, "18h": 2.0, "24h": 2.0, "30h": 2.0},
+            "paper_table4_minutes": {f"{k:.0f}h": v for k, v in PAPER_TABLE4.items()},
+        },
+        notes=[
+            f"scaled setup: N={setup.virtual_processes} (paper 128), "
+            f"1 paper-minute = {setup.time_scale} sim-seconds, per-node MTBF "
+            "additionally shrunk by the process ratio to preserve failure counts",
+            "cells are single stochastic runs (as in the paper); expect noise",
+        ],
+    )
+
+
+def run_campaign_cells(
+    setup: Optional[ScaledSetup] = None,
+    mtbf_hours: Sequence[float] = PAPER_MTBF_HOURS,
+    degrees: Sequence[float] = PAPER_REDUNDANCY_GRID,
+):
+    """Raw campaign cells (used by fig12's observed-vs-modeled overlay)."""
+    setup = setup or ScaledSetup()
+    base = setup.job_config()
+    return setup, run_redundancy_sweep(
+        base,
+        node_mtbfs=[setup.mtbf_to_sim(h) for h in mtbf_hours],
+        degrees=list(degrees),
+    )

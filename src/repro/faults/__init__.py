@@ -1,0 +1,24 @@
+"""faults — failure distributions, injection and detection.
+
+Implements the first "background process" of the paper's Section 5:
+the failure injector.  Per physical process, failure interarrival
+times are drawn from an exponential distribution (Poisson process,
+model assumption 3); when a process's time comes it is fail-stopped in
+the current MPI world.  Whether failures may strike *during*
+checkpoint/restart phases is configurable — the paper's experiments
+suppress them (Section 6, observation 5), its full model does not.
+"""
+
+from .distributions import Exponential, LogNormal, Weibull
+from .injector import FailureInjector, FailureRecord, exponential_injector
+from .detector import FailureDetector
+
+__all__ = [
+    "Exponential",
+    "FailureDetector",
+    "FailureInjector",
+    "FailureRecord",
+    "LogNormal",
+    "Weibull",
+    "exponential_injector",
+]

@@ -1,0 +1,46 @@
+"""Failure detection with latency.
+
+The paper assumes fail-stop failures "detected via timeout-based
+monitoring" (Section 4, assumption 4).  The simulator's runtime knows
+a death instantly; this wrapper delays the *notification* by a
+configurable detection latency, modelling the heartbeat/timeout delay
+a real monitor pays before declaring a process dead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.runtime import SimMPI
+
+
+class FailureDetector:
+    """Latency-delayed death notifications."""
+
+    def __init__(self, runtime: "SimMPI", latency: float = 0.0) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        self.runtime = runtime
+        self.latency = latency
+        self._subscribers: List[Callable[[int], None]] = []
+        self.detections: List[tuple] = []
+        runtime.on_rank_death(self._on_death)
+
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        """Register for (delayed) death notifications."""
+        self._subscribers.append(callback)
+
+    def _on_death(self, rank: int) -> None:
+        if self.latency == 0.0:
+            self._notify(rank)
+            return
+        event = self.runtime.env.timeout(self.latency, value=rank)
+        event.add_callback(lambda fired: self._notify(fired.value))
+
+    def _notify(self, rank: int) -> None:
+        self.detections.append((self.runtime.env.now, rank))
+        for callback in list(self._subscribers):
+            callback(rank)

@@ -1,0 +1,241 @@
+"""End-to-end combined redundancy + checkpointing model (Section 4.3).
+
+:class:`CombinedModel` wires together Eq. 1 (redundant time), Eqs. 5-10
+(partial-redundancy system reliability and failure rate), Eq. 15 (Daly's
+interval) and Eq. 14 (total completion time) exactly the way the paper's
+Figures 4-6 and 13-14 are produced:
+
+1. amplify the base time for redundant communication:
+   ``t_Red = (1 - alpha) t + alpha t r``;
+2. compute the system failure rate over the ``t_Red`` exposure from the
+   partial-redundancy partition;
+3. choose the checkpoint interval (Daly's Eq. 15 by default, Young's
+   rule optionally) at the *system* MTBF;
+4. evaluate the Eq. 14 fixed point with the redundant time as the work
+   term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError, ModelDivergence
+from .checkpointing import (
+    TimeBreakdown,
+    daly_interval,
+    time_breakdown,
+    young_interval,
+)
+from .redundancy import (
+    RedundancyPartition,
+    partition_processes,
+    redundant_time,
+    system_failure_rate,
+    system_reliability,
+)
+
+#: Supported checkpoint-interval rules.
+INTERVAL_RULES = ("daly", "young")
+
+
+@dataclass(frozen=True)
+class CombinedResult:
+    """Everything the combined model derives for one configuration."""
+
+    #: Input configuration echo (useful in sweep records).
+    model: "CombinedModel"
+    #: Eq. 1 — execution time with redundant communication, no failures.
+    redundant_time: float
+    #: Eqs. 5-8 — how virtual processes map to replication levels.
+    partition: RedundancyPartition
+    #: Eq. 9 — probability the whole system survives one ``t_Red`` run.
+    system_reliability: float
+    #: Eq. 10 — system failure rate (failures per second).
+    failure_rate: float
+    #: Eq. 10 — system MTBF (seconds; ``inf`` if failure-free).
+    system_mtbf: float
+    #: Eq. 15 (or Young) — checkpoint interval used.
+    checkpoint_interval: float
+    #: Eq. 14 — expected total wallclock time.
+    total_time: float
+    #: Work/checkpoint/recompute/restart split of ``total_time``.
+    breakdown: TimeBreakdown
+
+    @property
+    def expected_checkpoints(self) -> float:
+        """Expected number of checkpoints taken (``t_Red / delta``)."""
+        return self.breakdown.checkpoints_taken
+
+    @property
+    def expected_failures(self) -> float:
+        """Eq. 11 — ``T_total * lambda``."""
+        return self.breakdown.expected_failures
+
+    @property
+    def total_processes(self) -> int:
+        """Eq. 8 — physical processes (== nodes, assumption 2) consumed."""
+        return self.partition.total_processes
+
+    @property
+    def node_seconds(self) -> float:
+        """Resource usage: physical processes x wallclock time."""
+        return self.total_processes * self.total_time
+
+
+@dataclass(frozen=True)
+class CombinedModel:
+    """Parameter set for one combined C/R + redundancy configuration.
+
+    Parameters mirror Section 4's symbol table; all times in seconds.
+
+    Attributes
+    ----------
+    virtual_processes:
+        ``N`` — application (virtual) process count.
+    redundancy:
+        ``r`` — real-valued redundancy degree in ``[1, ...)``.
+    node_mtbf:
+        ``theta`` — MTBF of one node.
+    alpha:
+        Communication/computation ratio of the application.
+    base_time:
+        ``t`` — failure-free, redundancy-free execution time.
+    checkpoint_cost:
+        ``c`` — wallclock cost of writing one coordinated checkpoint.
+    restart_cost:
+        ``R`` — cost of restarting from an image (read + respawn +
+        coordination).
+    interval_rule:
+        ``"daly"`` (Eq. 15, default) or ``"young"``.
+    checkpoint_interval:
+        Optional explicit ``delta`` override; when set, the interval
+        rule is ignored.
+    exact_reliability:
+        Use the exponential CDF instead of the paper's ``t/theta``
+        linearisation in Eqs. 3-4-9.
+    """
+
+    virtual_processes: int
+    redundancy: float
+    node_mtbf: float
+    alpha: float
+    base_time: float
+    checkpoint_cost: float
+    restart_cost: float
+    interval_rule: str = "daly"
+    checkpoint_interval: Optional[float] = field(default=None)
+    exact_reliability: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval_rule not in INTERVAL_RULES:
+            raise ConfigurationError(
+                f"interval_rule must be one of {INTERVAL_RULES}, got {self.interval_rule!r}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval override must be > 0, got {self.checkpoint_interval}"
+            )
+
+    def with_redundancy(self, redundancy: float) -> "CombinedModel":
+        """Copy of this configuration at a different redundancy degree."""
+        return CombinedModel(
+            virtual_processes=self.virtual_processes,
+            redundancy=redundancy,
+            node_mtbf=self.node_mtbf,
+            alpha=self.alpha,
+            base_time=self.base_time,
+            checkpoint_cost=self.checkpoint_cost,
+            restart_cost=self.restart_cost,
+            interval_rule=self.interval_rule,
+            checkpoint_interval=self.checkpoint_interval,
+            exact_reliability=self.exact_reliability,
+        )
+
+    def with_processes(self, virtual_processes: int) -> "CombinedModel":
+        """Copy of this configuration at a different process count."""
+        return CombinedModel(
+            virtual_processes=virtual_processes,
+            redundancy=self.redundancy,
+            node_mtbf=self.node_mtbf,
+            alpha=self.alpha,
+            base_time=self.base_time,
+            checkpoint_cost=self.checkpoint_cost,
+            restart_cost=self.restart_cost,
+            interval_rule=self.interval_rule,
+            checkpoint_interval=self.checkpoint_interval,
+            exact_reliability=self.exact_reliability,
+        )
+
+    def interval(self, system_mtbf: float) -> float:
+        """The checkpoint interval this configuration will use."""
+        if self.checkpoint_interval is not None:
+            return self.checkpoint_interval
+        if self.interval_rule == "young":
+            return young_interval(self.checkpoint_cost, system_mtbf)
+        return daly_interval(self.checkpoint_cost, system_mtbf)
+
+    def evaluate(self) -> CombinedResult:
+        """Run the full Section 4.3 pipeline for this configuration.
+
+        Raises
+        ------
+        ModelDivergence
+            When the configuration has no finite expected completion
+            time (see :func:`repro.models.checkpointing.total_time`).
+        """
+        t_red = redundant_time(self.base_time, self.alpha, self.redundancy)
+        partition = partition_processes(self.virtual_processes, self.redundancy)
+        r_sys = system_reliability(
+            self.virtual_processes,
+            self.redundancy,
+            t_red,
+            self.node_mtbf,
+            exact=self.exact_reliability,
+        )
+        rate = system_failure_rate(
+            self.virtual_processes,
+            self.redundancy,
+            t_red,
+            self.node_mtbf,
+            exact=self.exact_reliability,
+        )
+        if math.isinf(rate):
+            raise ModelDivergence(
+                "system failure rate diverged (t_Red >= node MTBF under the "
+                "linearised model); use exact_reliability=True or reduce scale"
+            )
+        mtbf = math.inf if rate == 0.0 else 1.0 / rate
+        if math.isinf(mtbf):
+            # Failure-free in expectation: still checkpoint at a nominal
+            # interval so the breakdown is well defined.
+            delta = self.checkpoint_interval or t_red
+        else:
+            delta = self.interval(mtbf)
+        breakdown = time_breakdown(
+            t_red, delta, self.checkpoint_cost, rate, self.restart_cost
+        )
+        return CombinedResult(
+            model=self,
+            redundant_time=t_red,
+            partition=partition,
+            system_reliability=r_sys,
+            failure_rate=rate,
+            system_mtbf=mtbf,
+            checkpoint_interval=delta,
+            total_time=breakdown.total_time,
+            breakdown=breakdown,
+        )
+
+    def total_time_or_inf(self) -> float:
+        """``evaluate().total_time``, with divergence mapped to ``inf``.
+
+        Convenience for sweeps and optimizers that want to treat
+        impossible configurations as infinitely expensive rather than
+        exceptional.
+        """
+        try:
+            return self.evaluate().total_time
+        except ModelDivergence:
+            return math.inf

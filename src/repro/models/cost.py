@@ -1,0 +1,50 @@
+"""Resource/time cost functions (Section 1's "tuning knob").
+
+The paper frames redundancy as a trade between *wallclock time* and
+*resources*: dual redundancy doubles the node count but, past ~80k
+processes, more than halves the completion time, so throughput per
+node-hour improves.  These helpers make that trade explicit.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .combined import CombinedResult
+
+
+def node_hours(result: CombinedResult) -> float:
+    """Node-hours consumed: physical processes x wallclock hours."""
+    return result.node_seconds / 3600.0
+
+
+def weighted_cost(
+    result: CombinedResult,
+    time_weight: float = 1.0,
+    resource_weight: float = 0.0,
+    reference: CombinedResult = None,
+) -> float:
+    """User-weighted scalar cost ``w_t * T + w_r * N_total`` (normalised).
+
+    The paper (Section 1) notes users may "create a cost function giving
+    different weights to execution time and number of resources used".
+    When ``reference`` is given (conventionally the r=1 configuration),
+    both terms are expressed relative to it so the weights are unitless
+    and a cost of 1.0 means "as expensive as the reference".
+
+    Parameters
+    ----------
+    time_weight, resource_weight:
+        Non-negative weights; at least one must be positive.
+    reference:
+        Optional baseline :class:`CombinedResult` for normalisation.
+    """
+    if time_weight < 0 or resource_weight < 0:
+        raise ConfigurationError("weights must be >= 0")
+    if time_weight == 0 and resource_weight == 0:
+        raise ConfigurationError("at least one weight must be > 0")
+    time_term = result.total_time
+    resource_term = float(result.total_processes)
+    if reference is not None:
+        time_term /= reference.total_time
+        resource_term /= reference.total_processes
+    return time_weight * time_term + resource_weight * resource_term

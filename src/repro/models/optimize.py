@@ -1,0 +1,249 @@
+"""Optimal-configuration search and crossover finding (Figs. 4-6, 13-14).
+
+Three questions the paper answers with its model, made executable:
+
+* *Which redundancy degree minimises wallclock time?* —
+  :func:`sweep_redundancy` / :func:`optimal_redundancy` over the
+  paper's 0.25-step grid (or any grid).
+* *At what scale does degree r2 start beating degree r1?* —
+  :func:`find_crossover` reproduces Fig. 13's 1x→2x crossover at 4,351
+  processes and 1x→3x at 12,551.
+* *When can two redundant jobs finish within one plain job?* —
+  :func:`throughput_break_even` reproduces Fig. 14's 78,536-process
+  point where ``T(r=1) >= 2 * T(r=2)``.
+
+Also provides :func:`optimal_interval`, a numerical check that Daly's
+closed form (Eq. 15) sits at the true minimum of Eq. 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from scipy import optimize as _sciopt
+
+from ..errors import ConfigurationError, ModelDivergence
+from .combined import CombinedModel, CombinedResult
+from .redundancy import PAPER_REDUNDANCY_GRID
+
+
+@dataclass(frozen=True)
+class RedundancySweepPoint:
+    """One (redundancy, total time) sample from a sweep."""
+
+    redundancy: float
+    total_time: float
+    #: Full evaluation record; ``None`` when the model diverged.
+    result: Optional[CombinedResult]
+
+    @property
+    def diverged(self) -> bool:
+        """True when Eq. 14 had no finite solution at this degree."""
+        return self.result is None
+
+
+def sweep_redundancy(
+    model: CombinedModel,
+    grid: Sequence[float] = PAPER_REDUNDANCY_GRID,
+) -> List[RedundancySweepPoint]:
+    """Evaluate ``model`` at every redundancy degree in ``grid``."""
+    points = []
+    for degree in grid:
+        candidate = model.with_redundancy(degree)
+        try:
+            result = candidate.evaluate()
+            point = RedundancySweepPoint(degree, result.total_time, result)
+        except ModelDivergence:
+            point = RedundancySweepPoint(degree, math.inf, None)
+        points.append(point)
+    return points
+
+
+def optimal_redundancy(
+    model: CombinedModel,
+    grid: Sequence[float] = PAPER_REDUNDANCY_GRID,
+) -> RedundancySweepPoint:
+    """The sweep point with the smallest total time (ties: lower r)."""
+    points = sweep_redundancy(model, grid)
+    best = min(points, key=lambda p: (p.total_time, p.redundancy))
+    if math.isinf(best.total_time):
+        raise ModelDivergence("no redundancy degree in the grid yields a finite time")
+    return best
+
+
+def optimal_interval(
+    model: CombinedModel,
+    bracket_factor: float = 50.0,
+) -> float:
+    """Numerically optimal checkpoint interval for ``model``.
+
+    Minimises Eq. 14 over ``delta`` with scipy's bounded scalar
+    optimizer, bracketing around Daly's closed form.  Used by the
+    ablation benchmark to confirm Eq. 15 is (near-)optimal.
+    """
+    if bracket_factor <= 1.0:
+        raise ConfigurationError("bracket_factor must be > 1")
+    reference = model.evaluate()
+    daly = reference.checkpoint_interval
+
+    def objective(delta: float) -> float:
+        candidate = CombinedModel(
+            virtual_processes=model.virtual_processes,
+            redundancy=model.redundancy,
+            node_mtbf=model.node_mtbf,
+            alpha=model.alpha,
+            base_time=model.base_time,
+            checkpoint_cost=model.checkpoint_cost,
+            restart_cost=model.restart_cost,
+            interval_rule=model.interval_rule,
+            checkpoint_interval=float(delta),
+            exact_reliability=model.exact_reliability,
+        )
+        return candidate.total_time_or_inf()
+
+    outcome = _sciopt.minimize_scalar(
+        objective,
+        bounds=(daly / bracket_factor, daly * bracket_factor),
+        method="bounded",
+    )
+    return float(outcome.x)
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Smallest process count where one degree beats another."""
+
+    low_redundancy: float
+    high_redundancy: float
+    processes: int
+    low_time: float
+    high_time: float
+
+
+def _time_at(model: CombinedModel, processes: int, redundancy: float) -> float:
+    return model.with_processes(processes).with_redundancy(redundancy).total_time_or_inf()
+
+
+def find_crossover(
+    model: CombinedModel,
+    low_redundancy: float,
+    high_redundancy: float,
+    max_processes: int = 10_000_000,
+    min_processes: int = 2,
+) -> CrossoverPoint:
+    """Smallest ``N`` where ``high_redundancy`` completes no later.
+
+    Exponential scan followed by binary search; reproduces the Fig. 13
+    crossovers.  Raises :class:`ModelDivergence` if the high degree
+    never wins within ``max_processes``.
+    """
+    if min_processes < 1 or max_processes <= min_processes:
+        raise ConfigurationError("need 1 <= min_processes < max_processes")
+
+    def high_wins(processes: int) -> bool:
+        low = _time_at(model, processes, low_redundancy)
+        high = _time_at(model, processes, high_redundancy)
+        return high <= low
+
+    # Exponential scan for a bracketing interval.
+    lo = min_processes
+    hi = lo
+    while hi <= max_processes and not high_wins(hi):
+        lo = hi
+        hi *= 2
+    if hi > max_processes:
+        if high_wins(max_processes):
+            hi = max_processes
+        else:
+            raise ModelDivergence(
+                f"{high_redundancy}x never beats {low_redundancy}x "
+                f"up to N={max_processes}"
+            )
+    # Binary search for the boundary inside (lo, hi].
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if high_wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return CrossoverPoint(
+        low_redundancy=low_redundancy,
+        high_redundancy=high_redundancy,
+        processes=hi,
+        low_time=_time_at(model, hi, low_redundancy),
+        high_time=_time_at(model, hi, high_redundancy),
+    )
+
+
+def throughput_break_even(
+    model: CombinedModel,
+    redundancy: float = 2.0,
+    jobs: int = 2,
+    max_processes: int = 10_000_000,
+    min_processes: int = 2,
+) -> CrossoverPoint:
+    """Smallest ``N`` where ``jobs`` redundant runs fit in one plain run.
+
+    Fig. 14's headline: at ~78,536 processes two back-to-back 2x jobs of
+    128 h complete within the wallclock of a single 1x job, i.e.
+    ``jobs * T(r) <= T(1)``.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    def wins(processes: int) -> bool:
+        plain = _time_at(model, processes, 1.0)
+        redundant = _time_at(model, processes, redundancy)
+        if math.isinf(plain):
+            return True
+        return jobs * redundant <= plain
+
+    lo = min_processes
+    hi = lo
+    while hi <= max_processes and not wins(hi):
+        lo = hi
+        hi *= 2
+    if hi > max_processes:
+        if wins(max_processes):
+            hi = max_processes
+        else:
+            raise ModelDivergence(
+                f"{jobs} jobs at {redundancy}x never fit in one 1x job "
+                f"up to N={max_processes}"
+            )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return CrossoverPoint(
+        low_redundancy=1.0,
+        high_redundancy=redundancy,
+        processes=hi,
+        low_time=_time_at(model, hi, 1.0),
+        high_time=_time_at(model, hi, redundancy),
+    )
+
+
+def sweep_processes(
+    model: CombinedModel,
+    redundancy: float,
+    process_counts: Iterable[int],
+) -> List[RedundancySweepPoint]:
+    """Total time across process counts at a fixed degree (Figs. 13-14).
+
+    Returns sweep points whose ``redundancy`` field carries the fixed
+    degree; the varying quantity is in ``result.model.virtual_processes``.
+    """
+    points = []
+    for count in process_counts:
+        candidate = model.with_processes(int(count)).with_redundancy(redundancy)
+        try:
+            result = candidate.evaluate()
+            points.append(RedundancySweepPoint(redundancy, result.total_time, result))
+        except ModelDivergence:
+            points.append(RedundancySweepPoint(redundancy, math.inf, None))
+    return points

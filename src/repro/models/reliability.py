@@ -1,0 +1,80 @@
+"""Per-node and per-sphere reliability (Eqs. 2-4 of the paper).
+
+The paper assumes fail-stop node failures arriving as a Poisson process,
+i.e. exponentially distributed interarrival times with node MTBF
+``theta``.  A node therefore survives an interval of length ``t`` with
+probability ``R(t) = exp(-t/theta)`` (Eq. 2).
+
+For large ``theta`` the paper linearises the failure probability as
+``Pr(node failure) = t/theta`` (Eq. 3) and builds the rest of the
+analysis on that form.  Both forms are provided here; every function
+takes an ``exact`` flag (default ``False`` = the paper's linearisation)
+so the ablation benchmark can quantify the linearisation error.
+
+The linearised probability is clamped to ``[0, 1]`` — for very unreliable
+configurations (``t > theta``) the raw linearisation exceeds 1 and would
+otherwise produce negative reliabilities downstream in Eq. 9.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def _validate_time(t: float) -> None:
+    if t < 0:
+        raise ConfigurationError(f"time must be >= 0, got {t}")
+
+
+def _validate_mtbf(theta: float) -> None:
+    if theta <= 0:
+        raise ConfigurationError(f"node MTBF must be > 0, got {theta}")
+
+
+def node_failure_probability(t: float, theta: float, exact: bool = False) -> float:
+    """Probability that one node fails before time ``t``.
+
+    Parameters
+    ----------
+    t:
+        Exposure interval (seconds).
+    theta:
+        Node mean time between failures (seconds).
+    exact:
+        ``True`` uses the exponential CDF ``1 - exp(-t/theta)`` (Eq. 2);
+        ``False`` (default) uses the paper's linearisation ``t/theta``
+        (Eq. 3), clamped to ``[0, 1]``.
+    """
+    _validate_time(t)
+    _validate_mtbf(theta)
+    if exact:
+        return -math.expm1(-t / theta)
+    return min(1.0, t / theta)
+
+
+def node_reliability(t: float, theta: float, exact: bool = False) -> float:
+    """Probability that one node survives until time ``t`` (Eqs. 2-3)."""
+    return 1.0 - node_failure_probability(t, theta, exact=exact)
+
+
+def sphere_reliability(t: float, theta: float, k: int, exact: bool = False) -> float:
+    """Probability that a ``k``-way replicated virtual process survives.
+
+    Eq. 4 of the paper: a sphere of ``k`` independent, identically
+    distributed replicas fails only if *all* replicas fail, so
+
+    ``R_red(t) = 1 - (Pr(node failure))^k``.
+
+    Parameters
+    ----------
+    k:
+        Positive integer redundancy level of this sphere (1 = no
+        redundancy).  Partial redundancy is handled one level up, by
+        partitioning processes into integer-``k`` sets (Eqs. 5-8).
+    """
+    if not isinstance(k, int) or k < 1:
+        raise ConfigurationError(f"sphere redundancy k must be an int >= 1, got {k!r}")
+    failure = node_failure_probability(t, theta, exact=exact)
+    return 1.0 - failure**k

@@ -1,0 +1,222 @@
+"""Collective operations, built entirely from point-to-point messages.
+
+This matters for the paper's model: because collectives decompose into
+point-to-point sends, the redundancy layer's r-fold amplification of
+p2p traffic amplifies collective cost by the same factor — that is the
+basis of Eq. 1 ("all collective communication in MPI is based on
+point-to-point MPI messages").
+
+Algorithms (standard MPICH-style):
+
+* ``barrier``    — dissemination (log2(P) rounds of pairwise exchange);
+* ``bcast``      — binomial tree;
+* ``reduce``     — binomial tree (commutative ops);
+* ``allreduce``  — reduce to rank 0, then broadcast;
+* ``gather``     — linear fan-in with posted receives;
+* ``allgather``  — gather + broadcast;
+* ``scatter``    — linear fan-out;
+* ``alltoall``   — pairwise exchange with offset scheduling;
+* ``scan``       — linear pipeline inclusive prefix reduction.
+
+All functions are generators and must be driven with ``yield from``
+inside a simkit process.  Every rank of the communicator must call the
+same collectives in the same order (the usual MPI contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..errors import CommunicatorError
+
+
+def barrier(comm):
+    """Dissemination barrier: after this, all ranks have entered."""
+    size = comm.size
+    if size == 1:
+        return
+    tag = comm._next_collective_tag()
+    rank = comm.rank
+    distance = 1
+    while distance < size:
+        dest = (rank + distance) % size
+        source = (rank - distance) % size
+        send_request = comm.isend(b"", dest, tag, _internal=True)
+        recv_request = comm.irecv(source, tag)
+        yield from comm.waitall([send_request, recv_request])
+        distance <<= 1
+
+
+def bcast(comm, value: Any, root: int = 0):
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    size = comm.size
+    rank = comm.rank
+    _check_root(root, size)
+    if size == 1:
+        return value
+    tag = comm._next_collective_tag()
+    relative = (rank - root) % size
+
+    # Receive phase: find the round in which this rank gets the value.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            source = (rank - mask) % size
+            payload, _status = yield from comm.recv(source, tag)
+            value = payload
+            break
+        mask <<= 1
+    else:
+        mask = 1 << (size - 1).bit_length()
+
+    # Send phase: forward to the subtree below this rank.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            dest = (rank + mask) % size
+            yield from comm.send(value, dest, tag, _internal=True)
+        mask >>= 1
+    return value
+
+
+def reduce(comm, value: Any, op, root: int = 0):
+    """Binomial-tree reduction; result lands at ``root``.
+
+    ``op`` must be commutative (all :mod:`repro.mpi.ops` operators are).
+    Returns the reduced value at root, ``None`` elsewhere.
+    """
+    size = comm.size
+    rank = comm.rank
+    _check_root(root, size)
+    if size == 1:
+        return value
+    tag = comm._next_collective_tag()
+    relative = (rank - root) % size
+    accumulator = value
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dest = (rank - mask) % size
+            yield from comm.send(accumulator, dest, tag, _internal=True)
+            break
+        partner_relative = relative | mask
+        if partner_relative < size:
+            source = (rank + mask) % size
+            payload, _status = yield from comm.recv(source, tag)
+            accumulator = op(accumulator, payload)
+        mask <<= 1
+    if rank == root:
+        return accumulator
+    return None
+
+
+def allreduce(comm, value: Any, op):
+    """Reduce to rank 0 then broadcast; returns the result everywhere."""
+    reduced = yield from reduce(comm, value, op, root=0)
+    result = yield from bcast(comm, reduced, root=0)
+    return result
+
+
+def gather(comm, value: Any, root: int = 0):
+    """Linear gather; returns the ordered list at root, None elsewhere."""
+    size = comm.size
+    rank = comm.rank
+    _check_root(root, size)
+    tag = comm._next_collective_tag()
+    if rank != root:
+        yield from comm.send(value, root, tag, _internal=True)
+        return None
+    collected: List[Any] = [None] * size
+    collected[root] = value
+    requests = [comm.irecv(peer, tag) for peer in range(size) if peer != root]
+    results = yield from comm.waitall(requests)
+    for payload, status in results:
+        collected[status.source] = payload
+    return collected
+
+
+def allgather(comm, value: Any):
+    """Gather at rank 0 then broadcast the list; returns it everywhere."""
+    collected = yield from gather(comm, value, root=0)
+    result = yield from bcast(comm, collected, root=0)
+    return result
+
+
+def scatter(comm, values: Optional[List[Any]], root: int = 0):
+    """Linear scatter from root; returns this rank's element."""
+    size = comm.size
+    rank = comm.rank
+    _check_root(root, size)
+    tag = comm._next_collective_tag()
+    if rank == root:
+        if values is None or len(values) != size:
+            raise CommunicatorError(
+                f"scatter root needs exactly {size} values, got "
+                f"{'None' if values is None else len(values)}"
+            )
+        requests = [
+            comm.isend(values[peer], peer, tag, _internal=True)
+            for peer in range(size)
+            if peer != root
+        ]
+        yield from comm.waitall(requests)
+        return values[root]
+    payload, _status = yield from comm.recv(root, tag)
+    return payload
+
+
+def alltoall(comm, values: List[Any]):
+    """Pairwise-exchange personalised all-to-all.
+
+    ``values[i]`` goes to rank ``i``; returns a list whose ``i``-th
+    entry came from rank ``i``.
+    """
+    size = comm.size
+    rank = comm.rank
+    if len(values) != size:
+        raise CommunicatorError(
+            f"alltoall needs exactly {size} values, got {len(values)}"
+        )
+    tag = comm._next_collective_tag()
+    received: List[Any] = [None] * size
+    received[rank] = values[rank]
+    if size == 1:
+        return received
+    requests = []
+    for offset in range(1, size):
+        dest = (rank + offset) % size
+        source = (rank - offset) % size
+        requests.append(comm.isend(values[dest], dest, tag, _internal=True))
+        requests.append(comm.irecv(source, tag))
+    results = yield from comm.waitall(requests)
+    for request, result in zip(requests, results):
+        if request.kind == "recv":
+            payload, status = result
+            received[status.source] = payload
+    return received
+
+
+def scan(comm, value: Any, op):
+    """Inclusive prefix reduction (MPI_Scan): rank k gets op(v_0..v_k).
+
+    Linear pipeline: rank k receives the prefix from k-1, folds its own
+    value, forwards to k+1.  O(P) latency but exact MPI semantics for
+    non-commutative usage (values are folded in rank order).
+    """
+    size = comm.size
+    rank = comm.rank
+    if size == 1:
+        return value
+    tag = comm._next_collective_tag()
+    accumulator = value
+    if rank > 0:
+        prefix, _status = yield from comm.recv(rank - 1, tag)
+        accumulator = op(prefix, value)
+    if rank < size - 1:
+        yield from comm.send(accumulator, rank + 1, tag, _internal=True)
+    return accumulator
+
+
+def _check_root(root: int, size: int) -> None:
+    if not 0 <= root < size:
+        raise CommunicatorError(f"root {root} outside communicator of size {size}")

@@ -1,0 +1,146 @@
+"""Per-rank message matching: posted receives and the unexpected queue.
+
+This is the core of MPI semantics.  Each rank owns a
+:class:`MatchingEngine`; incoming envelopes either complete a
+previously *posted* receive (matched in post order) or join the
+*unexpected-message queue* (in arrival order) until a matching receive
+is posted.
+
+Matching follows MPI's rules: a posted ``(source, tag)`` pattern
+matches an envelope when each field is equal or the pattern field is a
+wildcard (:data:`~repro.mpi.status.ANY_SOURCE` /
+:data:`~repro.mpi.status.ANY_TAG`).  Non-overtaking holds whenever the
+fabric delivers messages of one (source, destination) pair in send
+order, which is the case for the default jitter-free fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+from collections import deque
+
+from ..errors import MPIError
+from ..simkit.events import Event
+from .status import ANY_SOURCE, ANY_TAG
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight (or queued): addressing + payload.
+
+    ``cid`` is the communicator context id: messages only ever match
+    receives posted on the same communicator, exactly as in MPI.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    cid: int = 0
+    #: Global send sequence number (diagnostics / determinism checks).
+    seq: int = field(default=0, compare=False)
+
+
+@dataclass
+class _PostedReceive:
+    source: int
+    tag: int
+    cid: int
+    event: Event
+
+    def matches(self, envelope: Envelope) -> bool:
+        return _pattern_matches(self.source, self.tag, self.cid, envelope)
+
+
+def _pattern_matches(source: int, tag: int, cid: int, envelope: Envelope) -> bool:
+    if cid != envelope.cid:
+        return False
+    source_ok = source == ANY_SOURCE or source == envelope.source
+    tag_ok = tag == ANY_TAG or tag == envelope.tag
+    return source_ok and tag_ok
+
+
+class MatchingEngine:
+    """The receive-side matching state of one rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._posted: List[_PostedReceive] = []
+        self._unexpected: Deque[Envelope] = deque()
+        self._closed = False
+
+    # -- receive side -----------------------------------------------------
+
+    def post(self, env_factory, source: int, tag: int, cid: int = 0) -> Event:
+        """Post a receive; returns an event that fires with the Envelope.
+
+        ``env_factory`` is the simulation environment (used to mint the
+        completion event).  If an unexpected message already matches,
+        the event fires immediately.
+        """
+        if self._closed:
+            raise MPIError(f"rank {self.rank} matching engine is closed")
+        event = Event(env_factory)
+        for index, envelope in enumerate(self._unexpected):
+            if _pattern_matches(source, tag, cid, envelope):
+                del self._unexpected[index]
+                event.succeed(envelope)
+                return event
+        self._posted.append(_PostedReceive(source=source, tag=tag, cid=cid, event=event))
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a posted receive identified by its event.
+
+        Returns True if it was still pending (and is now cancelled).
+        """
+        for index, posted in enumerate(self._posted):
+            if posted.event is event:
+                del self._posted[index]
+                return True
+        return False
+
+    def probe(self, source: int, tag: int, cid: int = 0) -> Optional[Envelope]:
+        """Non-consuming look at the first matching unexpected message."""
+        for envelope in self._unexpected:
+            if _pattern_matches(source, tag, cid, envelope):
+                return envelope
+        return None
+
+    # -- delivery side -----------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Hand an arriving envelope to matching (or queue it)."""
+        if self._closed:
+            return  # rank died; fail-stop networks drop its traffic
+        for index, posted in enumerate(self._posted):
+            if posted.matches(envelope):
+                del self._posted[index]
+                posted.event.succeed(envelope)
+                return
+        self._unexpected.append(envelope)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down on rank death: drop queues, never complete receives."""
+        self._closed = True
+        self._posted.clear()
+        self._unexpected.clear()
+
+    @property
+    def closed(self) -> bool:
+        """True once the owning rank has died."""
+        return self._closed
+
+    @property
+    def pending_receives(self) -> int:
+        """Number of posted-but-unmatched receives."""
+        return len(self._posted)
+
+    @property
+    def unexpected_messages(self) -> int:
+        """Number of queued unexpected messages."""
+        return len(self._unexpected)

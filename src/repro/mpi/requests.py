@@ -1,0 +1,131 @@
+"""Request handles for non-blocking operations (mirrors MPI_Request).
+
+A request wraps the kernel event that completes the operation plus the
+logic to turn the event's raw value into what the caller expects (the
+payload and a :class:`~repro.mpi.status.Status` for receives, ``None``
+for sends).  Blocking calls are ``yield from request.wait()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import RequestError
+from ..simkit.events import AllOf, Event
+from .matching import Envelope
+from .status import Status
+
+#: Request kinds (for diagnostics).
+SEND = "send"
+RECV = "recv"
+
+
+class Request:
+    """Handle to an in-flight non-blocking operation."""
+
+    __slots__ = (
+        "kind",
+        "peer",
+        "tag",
+        "_event",
+        "_status",
+        "_consumed",
+        "_on_complete",
+        "_source_map",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        event: Event,
+        peer: int,
+        tag: int,
+        on_complete: Optional[Callable[["Request"], None]] = None,
+        source_map: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if kind not in (SEND, RECV):
+            raise RequestError(f"unknown request kind {kind!r}")
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self._event = event
+        self._status: Optional[Status] = None
+        self._consumed = False
+        self._on_complete = on_complete
+        self._source_map = source_map
+
+    @property
+    def event(self) -> Event:
+        """The underlying kernel event (advanced use / request sets)."""
+        return self._event
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed."""
+        return self._event.processed
+
+    @property
+    def status(self) -> Optional[Status]:
+        """Receive status; populated after a completed receive."""
+        return self._status
+
+    def _finalize(self, raw: Any) -> Any:
+        if self._consumed:
+            raise RequestError("request waited on twice")
+        self._consumed = True
+        result: Any = None
+        if self.kind == RECV:
+            envelope: Envelope = raw
+            source = envelope.source
+            if self._source_map is not None:
+                source = self._source_map(source)
+            self._status = Status(source=source, tag=envelope.tag, nbytes=envelope.nbytes)
+            result = (envelope.payload, self._status)
+        if self._on_complete is not None:
+            self._on_complete(self)
+        return result
+
+    def wait(self):
+        """Generator: block the calling process until completion.
+
+        Receives return ``(payload, Status)``; sends return ``None``.
+        """
+        raw = yield self._event
+        return self._finalize(raw)
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-blocking completion check.
+
+        Returns ``(False, None)`` while pending, else ``(True, value)``
+        where value matches :meth:`wait`'s return.  The request is
+        consumed by the first successful test.
+        """
+        if not self._event.processed:
+            return False, None
+        return True, self._finalize(self._event.value)
+
+
+def waitall(env, requests: List[Request]):
+    """Generator: wait for every request; returns their values in order.
+
+    This is the primitive the redundancy layer's *request sets* build
+    on — one application-level ``MPI_Wait`` maps to ``waitall`` over
+    the per-replica requests (Section 3 of the paper).
+    """
+    if not requests:
+        return []
+    raw_values = yield AllOf(env, [request.event for request in requests])
+    return [request._finalize(raw) for request, raw in zip(requests, raw_values)]
+
+
+def waitany(env, requests: List[Request]):
+    """Generator: wait until one request completes; returns (index, value)."""
+    from ..simkit.events import AnyOf
+
+    if not requests:
+        raise RequestError("waitany on an empty request list")
+    for index, request in enumerate(requests):
+        if request.done:
+            return index, request._finalize(request.event.value)
+    index, raw = yield AnyOf(env, [request.event for request in requests])
+    return index, requests[index]._finalize(raw)

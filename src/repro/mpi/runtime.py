@@ -1,0 +1,334 @@
+"""SimMPI: the simulated MPI runtime.
+
+Owns the world — rank processes, per-rank matching engines, the
+rank→node placement, liveness, and the traffic accounting the
+checkpoint coordinator's bookmark protocol reads.  Programs are
+callables taking a :class:`RankContext` and returning a generator.
+
+>>> from repro.simkit import Environment
+>>> from repro.mpi import SimMPI
+>>> env = Environment()
+>>> world = SimMPI(env, size=4)
+>>> def program(ctx):
+...     total = yield from ctx.comm.allreduce(ctx.rank, ops.SUM)
+...     return total
+>>> from repro.mpi import ops
+>>> world.spawn(program)
+>>> world.run()
+>>> [world.result_of(r) for r in range(4)]
+[6, 6, 6, 6]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..cluster import Machine, spread_placement
+from ..errors import CommunicatorError, MPIError
+from ..netsim import Fabric
+from ..simkit import Counter, Environment, Resource
+from ..simkit.events import AllOf, Event
+from ..simkit.process import Process
+from .comm import Communicator
+from .datatypes import message_wire_size
+from .matching import Envelope, MatchingEngine
+#: The world communicator's context id; sub-communicators count up.
+WORLD_CID = 0
+
+
+class RankContext:
+    """Everything a rank's program sees: its identity, comm and clock."""
+
+    def __init__(self, runtime: "SimMPI", rank: int, comm: Communicator) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.comm = comm
+
+    @property
+    def env(self) -> Environment:
+        """The simulation environment."""
+        return self.runtime.env
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.runtime.size
+
+    def compute(self, seconds: float):
+        """Event representing ``seconds`` of local computation.
+
+        Yield it from the program.  Scaled by the runtime's
+        ``compute_scale`` (useful to shrink experiments).
+        """
+        return self.env.timeout(seconds * self.runtime.compute_scale)
+
+
+class SimMPI:
+    """The simulated MPI world.
+
+    Parameters
+    ----------
+    env:
+        simkit environment.
+    size:
+        Number of world ranks to run.
+    machine:
+        Cluster to place ranks on; defaults to one fresh node per rank.
+    fabric:
+        Interconnect cost oracle; defaults to jitter-free QDR-like.
+    placement:
+        Mapping rank→node index; defaults to one-rank-per-node
+        (the paper's assumption 2).
+    compute_scale:
+        Multiplier applied to all ``ctx.compute`` durations.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        size: int,
+        machine: Optional[Machine] = None,
+        fabric: Optional[Fabric] = None,
+        placement: Optional[Dict[int, int]] = None,
+        compute_scale: float = 1.0,
+    ) -> None:
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.env = env
+        self.size = size
+        self.machine = machine or Machine(node_count=size)
+        self.fabric = fabric or Fabric()
+        self.placement = placement or spread_placement(self.machine, size)
+        if set(self.placement) < set(range(size)):
+            raise MPIError("placement must cover every rank")
+        self.compute_scale = compute_scale
+        self.counters = Counter()
+        self._engines: Dict[int, MatchingEngine] = {
+            rank: MatchingEngine(rank) for rank in range(size)
+        }
+        # Per-rank injection channel: a rank can only push one message
+        # into the fabric at a time (the LogP overhead/gap), which is
+        # what makes the redundancy layer's r-fold fan-out cost r times
+        # the sender time (Eq. 1).
+        self._nics: Dict[int, "Resource"] = {
+            rank: Resource(env, capacity=1) for rank in range(size)
+        }
+        self._alive: Set[int] = set(range(size))
+        self._processes: Dict[int, Process] = {}
+        self._next_cid = WORLD_CID + 1
+        self._send_seq = 0
+        self._death_watchers: List[Callable[[int], None]] = []
+        #: Per-(src, dst) sent and consumed message counts — the
+        #: bookmark state the checkpoint coordinator equalises.
+        self.sent_counts: Dict[tuple, int] = {}
+        self.arrived_counts: Dict[tuple, int] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        try:
+            return self.placement[rank]
+        except KeyError as exc:
+            raise MPIError(f"no placement for rank {rank}") from exc
+
+    def is_alive(self, rank: int) -> bool:
+        """Fail-stop liveness of a rank."""
+        return rank in self._alive
+
+    @property
+    def alive_ranks(self) -> Set[int]:
+        """Snapshot of the currently live ranks."""
+        return set(self._alive)
+
+    # -- communicators --------------------------------------------------------
+
+    def world_comm(self, rank: int) -> Communicator:
+        """The world communicator handle for ``rank``."""
+        return Communicator(
+            self, group=range(self.size), local_rank=rank, cid=WORLD_CID, name="world"
+        )
+
+    def create_comm(self, group: Sequence[int]) -> Dict[int, Communicator]:
+        """Mint a sub-communicator over ``group`` (world ranks).
+
+        Returns one handle per member, keyed by world rank.  All
+        handles share a fresh context id.
+        """
+        group = list(group)
+        if len(set(group)) != len(group):
+            raise CommunicatorError("communicator group has duplicate ranks")
+        cid = self._next_cid
+        self._next_cid += 1
+        return {
+            world_rank: Communicator(
+                self, group=group, local_rank=local, cid=cid, name=f"comm{cid}"
+            )
+            for local, world_rank in enumerate(group)
+        }
+
+    # -- traffic -----------------------------------------------------------------
+
+    def post_send(self, src: int, dst: int, tag: int, payload: Any, cid: int) -> Event:
+        """Inject a message; returns the sender-completion event.
+
+        Fail-stop semantics: sends to dead ranks complete locally (the
+        sender cannot know) but the message is dropped.
+        """
+        if not self.is_alive(src):
+            raise MPIError(f"dead rank {src} attempted a send")
+        nbytes = message_wire_size(payload)
+        src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
+        busy = self.fabric.sender_busy_time(src_node, dst_node, nbytes)
+        self._send_seq += 1
+        envelope = Envelope(
+            source=src,
+            dest=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            cid=cid,
+            seq=self._send_seq,
+        )
+        self.counters.add("p2p_messages")
+        self.counters.add("p2p_bytes", nbytes)
+        key = (src, dst)
+        self.sent_counts[key] = self.sent_counts.get(key, 0) + 1
+        completion = Event(self.env)
+        self.env.process(
+            self._inject(envelope, src, busy, src_node, dst_node, completion),
+            name=f"send{envelope.seq}",
+        )
+        return completion
+
+    def _inject(self, envelope: Envelope, src: int, busy: float, src_node: int, dst_node: int, completion: Event):
+        """Serialised injection through the sender's NIC channel."""
+        grant = self._nics[src].request()
+        yield grant
+        try:
+            yield self.env.timeout(busy)
+        finally:
+            self._nics[src].release()
+        completion.succeed()
+        if self.is_alive(envelope.dest):
+            wire = self.fabric.wire_latency(src_node, dst_node)
+            arrival = Event(self.env)
+            arrival.add_callback(lambda _event: self._arrive(envelope))
+            arrival.succeed(delay=wire)
+        else:
+            self.counters.add("p2p_dropped")
+
+    def _arrive(self, envelope: Envelope) -> None:
+        if not self.is_alive(envelope.dest):
+            self.counters.add("p2p_dropped")
+            return
+        key = (envelope.source, envelope.dest)
+        self.arrived_counts[key] = self.arrived_counts.get(key, 0) + 1
+        self._engines[envelope.dest].deliver(envelope)
+
+    def post_recv(self, rank: int, source: int, tag: int, cid: int) -> Event:
+        """Post a receive on ``rank``'s matching engine."""
+        if not self.is_alive(rank):
+            raise MPIError(f"dead rank {rank} attempted a receive")
+        return self._engines[rank].post(self.env, source, tag, cid)
+
+    def probe(self, rank: int, source: int, tag: int, cid: int):
+        """Non-consuming probe of ``rank``'s unexpected queue."""
+        return self._engines[rank].probe(source, tag, cid)
+
+    def cancel_recv(self, rank: int, event: Event) -> bool:
+        """Withdraw a posted receive (redundancy layer, dead peers).
+
+        Returns True if the receive was still pending and is now gone;
+        False if it already matched (its message will be delivered).
+        """
+        return self._engines[rank].cancel(event)
+
+    def channels_quiet(self) -> bool:
+        """True when every sent message has arrived (bookmarks equal).
+
+        This is the condition the OpenMPI-style coordinated-checkpoint
+        protocol waits for before processes capture their images.
+        Traffic to dead ranks is excluded (it was dropped).
+        """
+        for (src, dst), sent in self.sent_counts.items():
+            if not self.is_alive(dst) or not self.is_alive(src):
+                continue
+            if self.arrived_counts.get((src, dst), 0) != sent:
+                return False
+        return True
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def spawn(
+        self,
+        program: Callable[[RankContext], Any],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Start ``program(ctx)`` as a process on each rank.
+
+        ``program`` is called once per rank with that rank's context
+        and must return a generator.
+        """
+        for rank in ranks if ranks is not None else range(self.size):
+            if rank in self._processes:
+                raise MPIError(f"rank {rank} already spawned")
+            context = RankContext(self, rank, self.world_comm(rank))
+            self._processes[rank] = self.env.process(
+                program(context), name=f"rank{rank}"
+            )
+
+    def kill_rank(self, rank: int, cause: Any = None) -> None:
+        """Fail-stop a rank: close its engine, interrupt its process.
+
+        No-op when the rank is already dead.
+        """
+        if rank not in self._alive:
+            return
+        self._alive.discard(rank)
+        self._engines[rank].close()
+        process = self._processes.get(rank)
+        if process is not None:
+            process.interrupt(cause)
+        self.counters.add("ranks_killed")
+        for watcher in list(self._death_watchers):
+            watcher(rank)
+
+    def on_rank_death(self, watcher: Callable[[int], None]) -> None:
+        """Register a callback for rank deaths (detector, spheres)."""
+        self._death_watchers.append(watcher)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the simulation until all spawned ranks finish.
+
+        With ``until`` set, stops at that simulation time instead
+        (whether or not ranks finished).
+        """
+        if not self._processes:
+            raise MPIError("run() before spawn()")
+        if until is not None:
+            self.env.run(until=until)
+            return
+        everyone = AllOf(self.env, list(self._processes.values()))
+        self.env.run(until=everyone)
+
+    def all_done(self) -> bool:
+        """True when every spawned rank process has finished."""
+        return all(process.triggered for process in self._processes.values())
+
+    def result_of(self, rank: int) -> Any:
+        """Return value of a finished rank's program."""
+        process = self._processes.get(rank)
+        if process is None:
+            raise MPIError(f"rank {rank} was never spawned")
+        if not process.triggered:
+            raise MPIError(f"rank {rank} has not finished")
+        return process.value
+
+    def process_of(self, rank: int) -> Process:
+        """The simkit process running ``rank`` (for interrupt plumbing)."""
+        try:
+            return self._processes[rank]
+        except KeyError as exc:
+            raise MPIError(f"rank {rank} was never spawned") from exc

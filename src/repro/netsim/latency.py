@@ -1,0 +1,92 @@
+"""Alpha-beta (postal) message-cost model.
+
+The classic first-order model of message transfer time on HPC fabrics:
+
+``T(n) = alpha + n / beta``
+
+where ``alpha`` is the per-message latency (wire + software stack) and
+``beta`` the sustained bandwidth.  Defaults approximate the paper's QDR
+InfiniBand testbed (~1.3 us latency, ~3.2 GB/s effective per-port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: QDR InfiniBand-ish defaults (seconds, bytes/second).
+QDR_LATENCY = 1.3e-6
+QDR_BANDWIDTH = 3.2e9
+
+
+@dataclass(frozen=True)
+class AlphaBetaModel:
+    """Latency/bandwidth transfer-time model.
+
+    Attributes
+    ----------
+    latency:
+        ``alpha`` — fixed per-message cost in seconds.
+    bandwidth:
+        ``beta`` — bytes per second.
+    eager_threshold:
+        Messages at or below this size use the eager protocol (sender
+        completes immediately); larger ones rendezvous (sender blocks
+        for one extra round trip).  Matches real MPI behaviour and
+        makes redundancy's message amplification visible in sender
+        time, which is what Eq. 1 models.
+    cpu_overhead:
+        Per-message software-stack cost on the sender (the LogP ``o``).
+        This is what makes message-*count* amplification expensive even
+        for small messages — the redundancy layer turns one send into
+        ``r`` sends, each paying this overhead serially.
+    """
+
+    latency: float = QDR_LATENCY
+    bandwidth: float = QDR_BANDWIDTH
+    eager_threshold: int = 64 * 1024
+    cpu_overhead: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+        if self.cpu_overhead < 0:
+            raise ConfigurationError(
+                f"cpu_overhead must be >= 0, got {self.cpu_overhead}"
+            )
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.eager_threshold < 0:
+            raise ConfigurationError(
+                f"eager_threshold must be >= 0, got {self.eager_threshold}"
+            )
+
+    def transfer_time(self, nbytes: int) -> float:
+        """End-to-end wire time for an ``nbytes`` message."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def sender_time(self, nbytes: int) -> float:
+        """Time the *sender* is busy with this message.
+
+        Eager messages cost the serialisation time only; rendezvous
+        messages additionally hold the sender for the latency of the
+        ready-to-send handshake.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        serialisation = self.cpu_overhead + nbytes / self.bandwidth
+        if nbytes <= self.eager_threshold:
+            return serialisation
+        return serialisation + 2.0 * self.latency
+
+    def scaled(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0) -> "AlphaBetaModel":
+        """A derived model with scaled parameters (e.g. intra-node links)."""
+        return AlphaBetaModel(
+            latency=self.latency * latency_factor,
+            bandwidth=self.bandwidth * bandwidth_factor,
+            eager_threshold=self.eager_threshold,
+            cpu_overhead=self.cpu_overhead,
+        )

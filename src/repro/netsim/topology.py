@@ -1,0 +1,118 @@
+"""Cluster topology: distance between nodes, in latency multiples.
+
+The fabric multiplies the base model latency by the topological
+distance between the communicating nodes.  Two concrete topologies are
+provided; both are deliberately simple — the paper's model does not
+depend on topology detail, only on communication being slower when
+redundant copies multiply it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class Topology:
+    """Interface: latency multiplier between two node indices."""
+
+    def distance(self, node_a: int, node_b: int) -> float:
+        """Latency multiplier for a message from ``node_a`` to ``node_b``.
+
+        0.0 means loopback (same node, shared memory); 1.0 is one
+        fabric hop.
+        """
+        raise NotImplementedError
+
+
+class FlatTopology(Topology):
+    """Full crossbar: every node one hop from every other.
+
+    The loopback multiplier models shared-memory transport between
+    ranks co-located on one node.
+    """
+
+    def __init__(self, loopback: float = 0.1) -> None:
+        if loopback < 0:
+            raise ConfigurationError(f"loopback must be >= 0, got {loopback}")
+        self.loopback = loopback
+
+    def distance(self, node_a: int, node_b: int) -> float:
+        """Loopback for co-located ranks; one hop otherwise."""
+        if node_a == node_b:
+            return self.loopback
+        return 1.0
+
+
+class TwoLevelTopology(Topology):
+    """Switch-hierarchy topology: nodes grouped under leaf switches.
+
+    Messages within a switch group take one hop; messages crossing to
+    another group traverse the spine and take ``spine_hops`` (default 3:
+    up, across, down).  Approximates the fat-tree layouts of InfiniBand
+    clusters like the paper's 108-node testbed.
+    """
+
+    def __init__(
+        self,
+        nodes_per_switch: int = 18,
+        spine_hops: float = 3.0,
+        loopback: float = 0.1,
+    ) -> None:
+        if nodes_per_switch < 1:
+            raise ConfigurationError(
+                f"nodes_per_switch must be >= 1, got {nodes_per_switch}"
+            )
+        if spine_hops < 1:
+            raise ConfigurationError(f"spine_hops must be >= 1, got {spine_hops}")
+        if loopback < 0:
+            raise ConfigurationError(f"loopback must be >= 0, got {loopback}")
+        self.nodes_per_switch = nodes_per_switch
+        self.spine_hops = spine_hops
+        self.loopback = loopback
+
+    def switch_of(self, node: int) -> int:
+        """Index of the leaf switch hosting ``node``."""
+        if node < 0:
+            raise ConfigurationError(f"node index must be >= 0, got {node}")
+        return node // self.nodes_per_switch
+
+    def distance(self, node_a: int, node_b: int) -> float:
+        """One hop within a switch group; spine traversal across groups."""
+        if node_a == node_b:
+            return self.loopback
+        if self.switch_of(node_a) == self.switch_of(node_b):
+            return 1.0
+        return self.spine_hops
+
+
+class TorusTopology(Topology):
+    """k-ary 2-D torus: hop count is the wrapped Manhattan distance.
+
+    Included for ablation experiments on replica placement: on a torus,
+    placing a replica far from its primary makes redundant traffic
+    visibly more expensive.
+    """
+
+    def __init__(self, side: int, loopback: float = 0.1) -> None:
+        if side < 2:
+            raise ConfigurationError(f"torus side must be >= 2, got {side}")
+        if loopback < 0:
+            raise ConfigurationError(f"loopback must be >= 0, got {loopback}")
+        self.side = side
+        self.loopback = loopback
+
+    def coordinates(self, node: int) -> tuple:
+        """(x, y) grid coordinates of ``node``."""
+        if node < 0:
+            raise ConfigurationError(f"node index must be >= 0, got {node}")
+        return node % self.side, (node // self.side) % self.side
+
+    def distance(self, node_a: int, node_b: int) -> float:
+        """Wrapped Manhattan distance on the torus grid."""
+        if node_a == node_b:
+            return self.loopback
+        ax, ay = self.coordinates(node_a)
+        bx, by = self.coordinates(node_b)
+        dx = min(abs(ax - bx), self.side - abs(ax - bx))
+        dy = min(abs(ay - by), self.side - abs(ay - by))
+        return float(max(1, dx + dy))

@@ -1,0 +1,25 @@
+"""orchestration — run workloads under redundancy + C/R + failures.
+
+:class:`ResilientJob` is the top of the systems half: it assembles the
+cluster, the simulated MPI world, the RedMPI-style redundancy layer,
+the coordinated checkpoint service, the failure injector and a
+workload into one fault-tolerant job run — the exact setup of the
+paper's Section 5 experimental framework — and reports the completion
+time and event counts the evaluation tables are built from.
+
+:mod:`campaign` sweeps jobs over (MTBF, redundancy) grids to
+regenerate Table 4 / Figures 8-9, and failure-free runs for
+Table 5 / Figure 10.
+"""
+
+from .job import JobConfig, JobReport, ResilientJob
+from .campaign import CampaignCell, run_failure_free_sweep, run_redundancy_sweep
+
+__all__ = [
+    "CampaignCell",
+    "JobConfig",
+    "JobReport",
+    "ResilientJob",
+    "run_failure_free_sweep",
+    "run_redundancy_sweep",
+]

@@ -1,0 +1,435 @@
+"""ResilientJob: one fault-tolerant application run, end to end.
+
+The lifecycle mirrors the paper's experimental framework (Section 5):
+
+1. the world starts with ``N_total`` physical processes (Eq. 8) laid
+   out by a :class:`~repro.redundancy.mapping.ReplicaMap`;
+2. the failure injector draws per-process Poisson failure times and
+   fail-stops processes as they come due (optionally suppressed while
+   a checkpoint or restart is in progress, as in the paper's runs);
+3. the checkpointer takes coordinated checkpoints at the configured
+   interval (Daly's Eq. 15 at the Eq. 10 system MTBF by default);
+4. a failure only aborts the attempt when a whole replica sphere is
+   exhausted (Figure 7); the job then pays the restart cost, restores
+   every virtual rank from the last committed image set, and re-runs
+   from that step;
+5. the run completes when every rank finishes the workload; the report
+   carries the wallclock, failure/checkpoint/rollback counts and the
+   application result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from .. import units
+from ..checkpoint import CheckpointConfig, CheckpointService, RestartManager, StableStorage
+from ..cluster import Machine
+from ..errors import ConfigurationError
+from ..faults import Exponential, FailureInjector, LogNormal, Weibull
+from ..models.checkpointing import daly_interval
+from ..models.redundancy import redundant_time, system_mtbf
+from ..mpi import SimMPI
+from ..netsim import AlphaBetaModel, Fabric
+from ..redundancy import ALL_TO_ALL, RedComm, ReplicaMap, SphereTracker
+from ..redundancy.voting import MODES
+from ..rng import StreamRegistry
+from ..simkit import Environment
+from ..simkit.events import AllOf, AnyOf
+from ..workloads import WorkShell, Workload
+
+
+@dataclass
+class JobConfig:
+    """Everything that defines one resilient job run.
+
+    Times are seconds.  ``None`` for ``node_mtbf`` disables failure
+    injection; ``None`` for ``checkpoint_interval`` derives Daly's
+    interval from the model (requires ``expected_base_time``).
+    """
+
+    workload_factory: Callable[[], Workload]
+    virtual_processes: int
+    redundancy: float = 1.0
+    mode: str = ALL_TO_ALL
+    replica_strategy: str = "interleaved"
+    node_mtbf: Optional[float] = None
+    seed: int = 0
+    checkpointing: bool = True
+    checkpoint_interval: Optional[float] = None
+    checkpoint_cost: Optional[float] = None
+    restart_cost: Optional[float] = 10.0
+    expected_base_time: Optional[float] = None
+    alpha_estimate: float = 0.2
+    suppress_failures_during_cr: bool = True
+    #: Interarrival distribution: "exponential" (the paper's Poisson
+    #: assumption), "weibull" (field-study-realistic, shape 0.7) or
+    #: "lognormal" — a robustness knob the paper leaves to future work.
+    failure_distribution: str = "exponential"
+    max_restarts: int = 10_000
+    bookmark_exchange: bool = False
+    compute_scale: float = 1.0
+    network_latency: float = 1.3e-6
+    network_bandwidth: float = 3.2e9
+    storage_write_bandwidth: float = 1e9
+    storage_channels: int = 8
+
+    def __post_init__(self) -> None:
+        if self.virtual_processes < 1:
+            raise ConfigurationError("virtual_processes must be >= 1")
+        if self.redundancy < 1.0:
+            raise ConfigurationError("redundancy must be >= 1")
+        if self.mode not in MODES:
+            raise ConfigurationError(f"unknown redundancy mode {self.mode!r}")
+        if self.node_mtbf is not None and self.node_mtbf <= 0:
+            raise ConfigurationError("node_mtbf must be > 0")
+        if self.max_restarts < 0:
+            raise ConfigurationError("max_restarts must be >= 0")
+        if self.failure_distribution not in ("exponential", "weibull", "lognormal"):
+            raise ConfigurationError(
+                f"unknown failure_distribution {self.failure_distribution!r}"
+            )
+
+    def resolve_interval(self) -> Optional[float]:
+        """The checkpoint interval this job will use (None = no C/R)."""
+        if not self.checkpointing:
+            return None
+        if self.checkpoint_interval is not None:
+            return self.checkpoint_interval
+        if self.node_mtbf is None:
+            raise ConfigurationError(
+                "derive-Daly checkpointing needs node_mtbf (or pass an "
+                "explicit checkpoint_interval)"
+            )
+        if self.expected_base_time is None:
+            raise ConfigurationError(
+                "derive-Daly checkpointing needs expected_base_time (the "
+                "Eq. 10 exposure) or an explicit checkpoint_interval"
+            )
+        if self.checkpoint_cost is None:
+            raise ConfigurationError(
+                "derive-Daly checkpointing needs a checkpoint_cost estimate"
+            )
+        exposure = redundant_time(
+            self.expected_base_time, self.alpha_estimate, self.redundancy
+        )
+        # Exact (exponential-CDF) reliability: at simulation scale the
+        # exposure time is comparable to the node MTBF, where the paper's
+        # t/theta linearisation is meaningless.
+        theta_sys = system_mtbf(
+            self.virtual_processes,
+            self.redundancy,
+            exposure,
+            self.node_mtbf,
+            exact=True,
+        )
+        if math.isinf(theta_sys):
+            return exposure  # effectively failure-free: one checkpoint
+        return daly_interval(self.checkpoint_cost, theta_sys)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One entry in a job's event log."""
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class JobReport:
+    """What one job run produced."""
+
+    completed: bool
+    total_time: float
+    attempts: int
+    failures_injected: int
+    rollbacks: int
+    checkpoints_committed: int
+    time_in_checkpoints: float
+    result: Any
+    counters: Dict[str, float] = field(default_factory=dict)
+    checkpoint_interval: Optional[float] = None
+    physical_processes: int = 0
+    #: Ordered job events: attempts, failures, commits, rollbacks.
+    timeline: list = field(default_factory=list)
+
+    @property
+    def total_minutes(self) -> float:
+        """Completion time in minutes (Table 4's unit)."""
+        return units.to_minutes(self.total_time)
+
+
+class ResilientJob:
+    """Assemble and run one job; see module docstring for the lifecycle."""
+
+    def __init__(self, config: JobConfig) -> None:
+        self.config = config
+        self._world: Optional[SimMPI] = None
+        self._service: Optional[CheckpointService] = None
+        self._in_restart = False
+        self._restart_disturbed = False
+        self._failures_delivered = 0
+        self._timeline: list = []
+        self._env: Optional[Environment] = None
+
+    def _log(self, env: Environment, kind: str, detail: str = "") -> None:
+        self._timeline.append(TimelineEvent(time=env.now, kind=kind, detail=detail))
+
+    # -- injector plumbing ---------------------------------------------------
+
+    def _cr_active(self) -> bool:
+        if self._in_restart:
+            return True
+        service = self._service
+        return service is not None and service.cr_active
+
+    def _kill(self, slot: int) -> None:
+        self._failures_delivered += 1
+        if self._env is not None:
+            self._log(self._env, "failure", f"slot {slot}")
+        if self._in_restart:
+            self._restart_disturbed = True
+            return
+        world = self._world
+        if world is not None and world.is_alive(slot):
+            world.kill_rank(slot, cause="injected failure")
+
+    # -- main entry ------------------------------------------------------------
+
+    def run(self) -> JobReport:
+        """Execute the job to completion (or restart exhaustion)."""
+        cfg = self.config
+        env = Environment()
+        self._env = env
+        rng = StreamRegistry(cfg.seed)
+        replica_map = ReplicaMap(
+            cfg.virtual_processes, cfg.redundancy, strategy=cfg.replica_strategy
+        )
+        total_physical = replica_map.total_physical
+        storage = StableStorage(
+            env,
+            write_bandwidth=cfg.storage_write_bandwidth,
+            channels=cfg.storage_channels,
+        )
+        restart_manager = RestartManager(storage)
+        delta = cfg.resolve_interval()
+
+        injector = None
+        if cfg.node_mtbf is not None:
+            distributions = {
+                "exponential": Exponential,
+                "weibull": Weibull,
+                "lognormal": LogNormal,
+            }
+            injector = FailureInjector(
+                env,
+                slots=total_physical,
+                distribution=distributions[cfg.failure_distribution](cfg.node_mtbf),
+                rng=rng.stream("faults"),
+                kill=self._kill,
+                cr_active=self._cr_active,
+                suppress_during_cr=cfg.suppress_failures_during_cr,
+            )
+            injector.start()
+
+        attempts = 0
+        restored: Optional[tuple] = None
+        completed = False
+        result: Any = None
+        total_checkpoint_time = 0.0
+        merged_counters: Dict[str, float] = {}
+        while True:
+            attempts += 1
+            self._log(env, "attempt_start", f"attempt {attempts}")
+            attempt = self._run_attempt(
+                env, rng, replica_map, storage, restart_manager, restored, delta
+            )
+            total_checkpoint_time += attempt["checkpoint_time"]
+            for name, value in attempt["counters"].items():
+                merged_counters[name] = merged_counters.get(name, 0.0) + value
+            if attempt["completed"]:
+                completed = True
+                result = attempt["result"]
+                break
+            if attempts > cfg.max_restarts:
+                self._log(env, "gave_up", f"after {attempts} attempts")
+                break
+            restart_manager.note_rollback()
+            self._log(env, "rollback", f"to step {restart_manager.line.step if restart_manager.has_checkpoint else 0}")
+            self._pay_restart(env, storage, restart_manager)
+            self._log(env, "restart_paid", "")
+            if restart_manager.has_checkpoint:
+                line = restart_manager.line
+                images = restart_manager.peek_states(range(cfg.virtual_processes))
+                states = {rank: image["state"] for rank, image in images.items()}
+                restored = (line.step, states)
+            else:
+                restored = None
+
+        if injector is not None:
+            injector.stop()
+        if completed:
+            self._log(env, "completed", "")
+        for line in restart_manager.history:
+            self._timeline.append(
+                TimelineEvent(
+                    time=line.committed_at,
+                    kind="checkpoint_commit",
+                    detail=f"step {line.step}",
+                )
+            )
+        self._timeline.sort(key=lambda event: event.time)
+        self._env = None
+        return JobReport(
+            completed=completed,
+            total_time=env.now,
+            attempts=attempts,
+            failures_injected=self._failures_delivered,
+            rollbacks=restart_manager.rollbacks,
+            checkpoints_committed=restart_manager.commits,
+            time_in_checkpoints=total_checkpoint_time,
+            result=result,
+            counters=merged_counters,
+            checkpoint_interval=delta,
+            physical_processes=total_physical,
+            timeline=list(self._timeline),
+        )
+
+    # -- one attempt --------------------------------------------------------------
+
+    def _run_attempt(
+        self,
+        env: Environment,
+        rng: StreamRegistry,
+        replica_map: ReplicaMap,
+        storage: StableStorage,
+        restart_manager: RestartManager,
+        restored: Optional[tuple],
+        delta: Optional[float],
+    ) -> Dict[str, Any]:
+        cfg = self.config
+        total_physical = replica_map.total_physical
+        machine = Machine(node_count=total_physical)
+        fabric = Fabric(
+            model=AlphaBetaModel(
+                latency=cfg.network_latency, bandwidth=cfg.network_bandwidth
+            )
+        )
+        world = SimMPI(
+            env,
+            size=total_physical,
+            machine=machine,
+            fabric=fabric,
+            compute_scale=cfg.compute_scale,
+        )
+        self._world = world
+        tracker = SphereTracker(replica_map)
+        failed_event = env.event()
+        tracker.on_sphere_exhausted(
+            lambda virtual: None if failed_event.triggered else failed_event.succeed(virtual)
+        )
+
+        service = None
+        if delta is not None:
+            service = CheckpointService(
+                runtime=world,
+                storage=storage,
+                restart_manager=restart_manager,
+                config=CheckpointConfig(
+                    interval=delta,
+                    fixed_cost=cfg.checkpoint_cost,
+                    bookmark_exchange=cfg.bookmark_exchange,
+                ),
+            )
+        self._service = service
+
+        results: Dict[int, Any] = {}
+
+        def program(ctx):
+            red = RedComm(ctx, replica_map, tracker, mode=cfg.mode)
+            workload = cfg.workload_factory()
+            workload.configure(
+                red.rank,
+                cfg.virtual_processes,
+                rng.stream(f"workload/{red.rank}"),
+            )
+            start_step = 0
+            if restored is not None:
+                start_step, states = restored
+                workload.load(states[red.rank])
+            shell = WorkShell(ctx, red)
+            for step in range(start_step, workload.total_steps):
+                yield from workload.step(shell, step)
+                if service is not None:
+                    yield from service.at_step_boundary(red, workload, step)
+            outcome = yield from workload.finalize(shell)
+            results[ctx.rank] = outcome
+            return outcome
+
+        world.spawn(program)
+        everyone = AllOf(env, [world.process_of(p) for p in range(total_physical)])
+        env.run(until=AnyOf(env, [everyone, failed_event]))
+
+        checkpoint_time = service.time_in_checkpoints if service else 0.0
+        counters = world.counters.as_dict()
+        if everyone.triggered and everyone.ok:
+            lead_result = results.get(tracker.lead_replica(0))
+            self._world = None
+            self._service = None
+            return {
+                "completed": True,
+                "result": lead_result,
+                "checkpoint_time": checkpoint_time,
+                "counters": counters,
+            }
+        # Sphere exhausted: tear the attempt down.
+        for rank in list(world.alive_ranks):
+            world.kill_rank(rank, cause="attempt aborted")
+        self._world = None
+        self._service = None
+        return {
+            "completed": False,
+            "result": None,
+            "checkpoint_time": checkpoint_time,
+            "counters": counters,
+        }
+
+    # -- restart window ---------------------------------------------------------------
+
+    def _pay_restart(
+        self,
+        env: Environment,
+        storage: StableStorage,
+        restart_manager: RestartManager,
+    ) -> None:
+        """Advance the clock by the restart cost (repeats if disturbed)."""
+        cfg = self.config
+        self._in_restart = True
+        try:
+            while True:
+                self._restart_disturbed = False
+                if cfg.restart_cost is not None:
+                    pause = env.process(self._pause(env, cfg.restart_cost))
+                    env.run(until=pause)
+                elif restart_manager.has_checkpoint:
+                    readers = [
+                        env.process(restart_manager.read_state(v))
+                        for v in range(cfg.virtual_processes)
+                    ]
+                    done = AllOf(env, readers)
+                    env.run(until=done)
+                if not self._restart_disturbed:
+                    return
+                # With suppression off a failure struck mid-restart: the
+                # model says the restart phase itself is failure-prone,
+                # so pay it again (Eq. 13's compounding).
+        finally:
+            self._in_restart = False
+
+    @staticmethod
+    def _pause(env: Environment, seconds: float):
+        yield env.timeout(seconds)

@@ -1,0 +1,122 @@
+"""The simulation environment: clock + event queue + scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..errors import SimulationDeadlock, SimulationError
+from .events import Event, Timeout
+from .process import Process
+
+#: Queue entries: (time, priority, sequence, event).  ``priority`` lets
+#: urgent kernel activities (interrupt delivery) pre-empt same-time
+#: user events; ``sequence`` makes ordering fully deterministic.
+_QueueEntry = Tuple[float, int, int, Event]
+
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    The environment owns the virtual clock (:attr:`now`) and the event
+    queue.  Simulated activities are generator functions registered via
+    :meth:`process`.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[_QueueEntry] = []
+        self._sequence = 0
+        self._active_processes = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event construction --------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event (trigger with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a simulated process and start it."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (kernel API) ----------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationDeadlock("event queue is empty")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._mark_processed()
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def run(self, until: Optional[object] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue drains;
+            * a number — run until the clock reaches that time;
+            * an :class:`Event` — run until that event is processed,
+              returning its value (raising its exception if it failed).
+
+        Raises
+        ------
+        SimulationDeadlock
+            When ``until`` is an event and the queue drains before the
+            event fires.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationDeadlock(
+                        "queue drained before the awaited event fired"
+                    )
+                self.step()
+            if not target.ok:
+                raise target.value
+            return target.value
+        # Numeric horizon.
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run to the past ({horizon} < {self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,201 @@
+"""Event primitives for the simkit kernel.
+
+An :class:`Event` is a one-shot occurrence with an optional value (or a
+failure exception).  Its lifecycle::
+
+    PENDING --succeed()/fail()--> TRIGGERED --env.step()--> PROCESSED
+
+Once *triggered* the event is sitting in the environment's queue with a
+definite fire time; once *processed* its callbacks have run and waiting
+processes have been resumed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .env import Environment
+
+#: State constants (kept as ints for cheap comparisons in the hot loop).
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Callbacks are callables taking the event itself; they run exactly
+    once, in registration order, when the environment processes the
+    event.
+    """
+
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._ok = True
+        self._value: Any = None
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (or processed)."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._state == PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``.
+
+        The exception is thrown into every waiting process.
+        """
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.env._schedule(self, delay)
+        return self
+
+    # -- kernel hooks -----------------------------------------------------
+
+    def _mark_processed(self) -> None:
+        self._state = PROCESSED
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; runs immediately if already processed."""
+        if self._state == PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback if still present."""
+        try:
+            self.callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        if not self.events:
+            self._pending_count = 0
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        # Count ALL children before registering any callback: a child
+        # that is already processed runs its callback synchronously
+        # inside add_callback, and must not see a partial count.
+        self._pending_count = len(self.events)
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the value list.
+
+    Fails as soon as any child fails (remaining children keep running).
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        index = self.events.index(event)
+        if event.ok:
+            self.succeed((index, event.value))
+        else:
+            self.fail(event.value)
+
+
+def first_failure(events: Sequence[Event]) -> Optional[BaseException]:
+    """Return the exception of the first failed event, if any."""
+    for event in events:
+        if event.triggered and not event.ok:
+            return event.value
+    return None

@@ -1,0 +1,74 @@
+"""Time-series probes and counters for simulation observability.
+
+Experiments need per-run statistics (messages sent, bytes moved,
+checkpoints taken, failures injected, time in each phase).  These tiny
+collectors keep that bookkeeping out of the substrate logic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .env import Environment
+
+
+class Monitor:
+    """Records (time, value) samples of one quantity."""
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        """Append a sample stamped with the current simulation time."""
+        self.samples.append((self.env.now, float(value)))
+
+    @property
+    def values(self) -> List[float]:
+        """Just the sampled values, in time order."""
+        return [value for _time, value in self.samples]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.values) / len(self.samples)
+
+    def total(self) -> float:
+        """Sum of the samples."""
+        return sum(self.values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class Counter:
+    """A named bag of monotonically increasing counters.
+
+    >>> from repro.simkit import Environment, Counter
+    >>> counters = Counter()
+    >>> counters.add("messages", 2)
+    >>> counters["messages"]
+    2
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount``."""
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter bag into this one."""
+        for name, amount in other._counts.items():
+            self.add(name, amount)

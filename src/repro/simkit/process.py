@@ -1,0 +1,109 @@
+"""Generator-based simulated processes.
+
+A process wraps a generator that ``yield``s :class:`Event` objects.
+The kernel resumes the generator with the event's value when it fires,
+or throws the event's exception into it when the event failed.  The
+process itself *is* an event: it fires with the generator's return
+value when the generator finishes, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import ProcessInterrupted, SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .env import Environment
+
+
+class Process(Event):
+    """A running simulated activity (also an awaitable event)."""
+
+    __slots__ = ("name", "_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        start = Event(env)
+        start.add_callback(self._resume)
+        self._waiting_on = start
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished or crashed."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process *now*.
+
+        The process stops waiting on whatever event it was blocked on
+        (that event still fires for other waiters) and receives the
+        interrupt at the current simulation time.  Interrupting a
+        finished process is a silent no-op — failure injection races
+        with normal completion, and losing that race is not an error.
+        """
+        if self.triggered:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.discard_callback(self._resume)
+            self._waiting_on = None
+        kick = Event(self.env)
+        kick.add_callback(self._resume)
+        self._waiting_on = kick
+        kick._ok = False
+        kick._value = ProcessInterrupted(cause)
+        kick._state = 1  # TRIGGERED
+        from .env import URGENT
+
+        self.env._schedule(kick, 0.0, priority=URGENT)
+
+    # -- kernel ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except ProcessInterrupted:
+                # An interrupt escaped the generator: treat as clean
+                # termination with no value (the rank was killed).
+                self.succeed(None)
+                return
+            except BaseException as exc:
+                if self.callbacks:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+                self._generator.throw(error)
+                raise error
+            if target.processed:
+                # Already-fired event: feed its outcome straight back in
+                # (loop, not recursion, to keep stack depth flat).
+                event = target
+                continue
+            target.add_callback(self._resume)
+            self._waiting_on = target
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {status}>"

@@ -1,0 +1,146 @@
+"""Minimal ASCII line plots for figure-like terminal output.
+
+The paper's figures are line/surface plots; the experiments emit their
+data as tables, and this module renders the same series as quick
+terminal plots so a benchmark run *looks* like the figure it
+regenerates.  No plotting dependencies — pure character grids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Glyphs assigned to series in declaration order.
+GLYPHS = "*o+x#@%&"
+
+#: Density ramp for heatmaps, light to dark.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (xs, ys) series onto one character grid.
+
+    Non-finite y values are skipped.  Returns the plot followed by a
+    legend line mapping glyphs to series names.
+
+    >>> text = ascii_plot({"line": ([1, 2, 3], [1.0, 2.0, 3.0])}, width=20, height=5)
+    >>> "line" in text
+    True
+    """
+    if not series:
+        raise ConfigurationError("ascii_plot needs at least one series")
+    if width < 8 or height < 3:
+        raise ConfigurationError("plot must be at least 8x3")
+    points: List[Tuple[float, float, int]] = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {name!r} has mismatched lengths")
+        for x, y in zip(xs, ys):
+            if not math.isfinite(y):
+                continue
+            x_value = math.log10(x) if logx else float(x)
+            points.append((x_value, float(y), index))
+    if not points:
+        raise ConfigurationError("no finite points to plot")
+    x_low = min(p[0] for p in points)
+    x_high = max(p[0] for p in points)
+    y_low = min(p[1] for p in points)
+    y_high = max(p[1] for p in points)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        column = int(round((x - x_low) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - y_low) / y_span * (height - 1)))
+        grid[row][column] = GLYPHS[index % len(GLYPHS)]
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_low_text = f"{10 ** x_low:.3g}" if logx else f"{x_low:.3g}"
+    x_high_text = f"{10 ** x_high:.3g}" if logx else f"{x_high:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    footer = (
+        " " * (label_width + 2)
+        + x_low_text
+        + " " * max(1, width - len(x_low_text) - len(x_high_text))
+        + x_high_text
+    )
+    lines.append(footer)
+    legend = "  ".join(
+        f"{GLYPHS[index % len(GLYPHS)]}={name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    values: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    title: str = "",
+    cell_width: int = 5,
+) -> str:
+    """Render a matrix as a character-density heatmap (Fig. 9 style).
+
+    Darker glyphs mean larger values.  Non-finite cells render as
+    ``inf``.  Each cell also shows its glyph repeated, so relative
+    magnitude is visible without color.
+    """
+    if not values or not values[0]:
+        raise ConfigurationError("heatmap needs a non-empty matrix")
+    if len(row_labels) != len(values):
+        raise ConfigurationError("row label count mismatch")
+    if any(len(row) != len(column_labels) for row in values):
+        raise ConfigurationError("column label count mismatch")
+    finite = [v for row in values for v in row if math.isfinite(v)]
+    if not finite:
+        raise ConfigurationError("no finite cells to render")
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+
+    def cell(value: float) -> str:
+        if not math.isfinite(value):
+            return "inf".center(cell_width)
+        level = int((value - low) / span * (len(HEAT_RAMP) - 1))
+        return (HEAT_RAMP[level] * cell_width)[:cell_width]
+
+    label_width = max(len(str(label)) for label in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + " " + " ".join(
+        str(label).center(cell_width) for label in column_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        rendered = " ".join(cell(value) for value in row)
+        lines.append(f"{str(label).rjust(label_width)} {rendered}")
+    lines.append(
+        " " * label_width
+        + f" scale: '{HEAT_RAMP[0]}'={low:.3g} .. '{HEAT_RAMP[-1]}'={high:.3g}"
+    )
+    return "\n".join(lines)

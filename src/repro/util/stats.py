@@ -1,0 +1,49 @@
+"""Fit statistics for model-vs-measurement comparisons (Figure 12).
+
+The paper validates its model with an overlay plot and a Q-Q plot of
+modeled vs observed execution times; these helpers compute the same
+artifacts numerically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _paired(a: Sequence[float], b: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    if len(a) != len(b):
+        raise ConfigurationError(f"length mismatch: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ConfigurationError("need at least two samples")
+    return np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+
+
+def qq_points(observed: Sequence[float], modeled: Sequence[float]) -> List[Tuple[float, float]]:
+    """Quantile-quantile pairs: sorted observed vs sorted modeled.
+
+    Points near the diagonal indicate the model reproduces the
+    distribution of measured times (the paper's "Q-Q plot ... indicates
+    a close fit").
+    """
+    obs, mod = _paired(observed, modeled)
+    return list(zip(np.sort(obs).tolist(), np.sort(mod).tolist()))
+
+
+def pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient of the paired samples."""
+    x, y = _paired(a, b)
+    if float(np.std(x)) == 0.0 or float(np.std(y)) == 0.0:
+        raise ConfigurationError("constant series have no correlation")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def mean_abs_pct_error(observed: Sequence[float], modeled: Sequence[float]) -> float:
+    """Mean |observed - modeled| / observed, as a fraction."""
+    obs, mod = _paired(observed, modeled)
+    if np.any(obs == 0):
+        raise ConfigurationError("observed values must be nonzero")
+    return float(np.mean(np.abs(obs - mod) / np.abs(obs)))

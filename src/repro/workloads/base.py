@@ -1,0 +1,93 @@
+"""The workload contract: step-structured, checkpointable applications.
+
+A workload is an iterative SPMD program.  The orchestrator drives it
+step by step so checkpoints can be taken at step boundaries
+(application-level checkpointing), and captures/restores its state
+dict for restart.  Replica determinism is part of the contract: two
+replicas configured identically and fed the same messages must produce
+byte-identical states — that is what makes RedMPI-style redundancy
+transparent.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Dict
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.runtime import RankContext
+
+
+class WorkShell:
+    """What a workload step sees: its communicator and a compute clock.
+
+    ``comm`` is *virtual* under redundancy (a ``RedComm``) and plain
+    otherwise; the workload cannot tell the difference.
+    """
+
+    def __init__(self, ctx: "RankContext", comm) -> None:
+        self._ctx = ctx
+        self.comm = comm
+
+    @property
+    def rank(self) -> int:
+        """The (virtual) rank this workload instance plays."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """The (virtual) world size."""
+        return self.comm.size
+
+    @property
+    def env(self):
+        """The simulation environment."""
+        return self._ctx.env
+
+    def compute(self, seconds: float):
+        """Event charging ``seconds`` of local computation (yield it)."""
+        return self._ctx.compute(seconds)
+
+
+class Workload(abc.ABC):
+    """Base class for step-structured applications."""
+
+    #: Human-readable workload name (reports, storage keys).
+    name = "workload"
+
+    @abc.abstractmethod
+    def configure(self, rank: int, size: int, rng: np.random.Generator) -> None:
+        """Build this rank's local data (deterministic given the rng)."""
+
+    @property
+    @abc.abstractmethod
+    def total_steps(self) -> int:
+        """Number of steps the workload runs."""
+
+    @abc.abstractmethod
+    def step(self, shell: WorkShell, index: int):
+        """Generator: execute step ``index`` (compute + communicate)."""
+
+    @abc.abstractmethod
+    def state(self) -> Dict[str, Any]:
+        """Checkpointable snapshot of the local state (a plain dict)."""
+
+    @abc.abstractmethod
+    def load(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+
+    def finalize(self, shell: WorkShell):
+        """Generator: optional closing collective; returns the result.
+
+        Default: return :meth:`local_result` without communication.
+        (A bare ``return``-only generator still needs a yield point; we
+        use a zero-delay timeout.)
+        """
+        yield shell.env.timeout(0.0)
+        return self.local_result()
+
+    def local_result(self) -> Any:
+        """This rank's final answer (used by reports and tests)."""
+        return None

@@ -1,0 +1,168 @@
+"""A master/slave Monte Carlo workload (pi estimation).
+
+The paper's background singles out master/slave codes as the classic
+fit for fault-tolerant MPI, and its Section 3 devotes a whole protocol
+to MPI_ANY_SOURCE *because* master/slave masters receive results from
+"whoever finishes first".  This workload exercises exactly that path
+under redundancy:
+
+* rank 0 is the master: it hands out work chunks and collects results
+  with wildcard receives — every replica of the master must agree on
+  which worker's result arrives when, which is the envelope-forwarding
+  protocol's job;
+* ranks 1..N-1 are workers: each chunk is a deterministic quasi-random
+  batch of darts (seeded by the chunk id, so replicas and re-executions
+  agree bit-for-bit and the final estimate is checkable).
+
+One step = one scheduling round (master assigns up to one chunk per
+worker, then collects the round's results).  State is the master's
+progress ledger plus each worker's tally, so rollback mid-campaign
+resumes exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mpi import ANY_SOURCE, ops
+from .base import WorkShell, Workload
+
+#: Tags of the master/worker conversation.
+WORK_TAG = 31
+RESULT_TAG = 32
+
+
+def darts_in_circle(chunk_id: int, darts: int) -> int:
+    """Deterministic dart batch: hits inside the unit quarter-circle.
+
+    Seeded by the chunk id so any replica (or any re-execution after a
+    rollback) computes the identical count.
+    """
+    rng = np.random.default_rng(1_000_003 * (chunk_id + 1))
+    x = rng.random(darts)
+    y = rng.random(darts)
+    return int(np.count_nonzero(x * x + y * y <= 1.0))
+
+
+class MonteCarloWorkload(Workload):
+    """Master/slave pi estimation with wildcard result collection.
+
+    Parameters
+    ----------
+    chunks:
+        Total work chunks in the campaign.
+    darts_per_chunk:
+        Samples per chunk (also sets the compute charge).
+    flops_per_second:
+        Modeled compute speed (a dart costs ~5 flops).
+    """
+
+    name = "montecarlo"
+
+    def __init__(
+        self,
+        chunks: int = 40,
+        darts_per_chunk: int = 2_000,
+        flops_per_second: float = 5e8,
+    ) -> None:
+        if chunks < 1:
+            raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+        if darts_per_chunk < 1:
+            raise ConfigurationError(
+                f"darts_per_chunk must be >= 1, got {darts_per_chunk}"
+            )
+        if flops_per_second <= 0:
+            raise ConfigurationError("flops_per_second must be > 0")
+        self.chunks = chunks
+        self.darts_per_chunk = darts_per_chunk
+        self.flops_per_second = flops_per_second
+        self._configured = False
+
+    def configure(self, rank: int, size: int, rng: np.random.Generator) -> None:
+        if size < 2:
+            raise ConfigurationError("master/slave needs at least 2 ranks")
+        self.rank = rank
+        self.size = size
+        self.next_chunk = 0       # master: next chunk id to hand out
+        self.hits = 0             # master: accumulated circle hits
+        self.darts_thrown = 0     # master: accumulated darts
+        self.rounds_done = 0
+        self._configured = True
+
+    @property
+    def total_steps(self) -> int:
+        workers = max(1, getattr(self, "size", 2) - 1)
+        return -(-self.chunks // workers)  # ceil: rounds needed
+
+    def step(self, shell: WorkShell, index: int):
+        """One scheduling round.
+
+        The master assigns one chunk to as many workers as have work
+        left this round, then collects exactly that many results via
+        ANY_SOURCE.  Workers receive their assignment (or an idle
+        marker), compute, and reply.
+        """
+        if not self._configured:
+            raise ConfigurationError("step() before configure()")
+        comm = shell.comm
+        workers = self.size - 1
+        if self.rank == 0:
+            assigned = 0
+            for worker in range(1, self.size):
+                if self.next_chunk < self.chunks:
+                    yield from comm.send(self.next_chunk, worker, WORK_TAG)
+                    self.next_chunk += 1
+                    assigned += 1
+                else:
+                    yield from comm.send(-1, worker, WORK_TAG)  # idle round
+            for _ in range(assigned):
+                # Whoever finishes first: the Section 3 wildcard path.
+                payload, _status = yield from comm.recv(
+                    source=ANY_SOURCE, tag=RESULT_TAG
+                )
+                chunk_hits, chunk_darts = payload
+                self.hits += chunk_hits
+                self.darts_thrown += chunk_darts
+        else:
+            chunk_id, _status = yield from comm.recv(source=0, tag=WORK_TAG)
+            if chunk_id >= 0:
+                hits = darts_in_circle(chunk_id, self.darts_per_chunk)
+                yield shell.compute(
+                    5.0 * self.darts_per_chunk / self.flops_per_second
+                )
+                yield from comm.send(
+                    (hits, self.darts_per_chunk), 0, RESULT_TAG
+                )
+        self.rounds_done += 1
+
+    def finalize(self, shell: WorkShell):
+        # Broadcast the master's estimate so every rank returns it.
+        estimate = None
+        if self.rank == 0 and self.darts_thrown > 0:
+            estimate = 4.0 * self.hits / self.darts_thrown
+        estimate = yield from shell.comm.bcast(estimate, root=0)
+        return {
+            "pi_estimate": estimate,
+            "darts": self.darts_thrown if self.rank == 0 else None,
+            "rounds": self.rounds_done,
+        }
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "next_chunk": self.next_chunk,
+            "hits": self.hits,
+            "darts_thrown": self.darts_thrown,
+            "rounds_done": self.rounds_done,
+        }
+
+    def load(self, state: Dict[str, Any]) -> None:
+        self.next_chunk = state["next_chunk"]
+        self.hits = state["hits"]
+        self.darts_thrown = state["darts_thrown"]
+        self.rounds_done = state["rounds_done"]
+
+    def local_result(self) -> Any:
+        return {"rounds": self.rounds_done}

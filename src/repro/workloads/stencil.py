@@ -1,0 +1,143 @@
+"""A 2-D Jacobi heat-diffusion stencil with halo exchange.
+
+The second workload family the paper's introduction motivates:
+structured-grid codes whose communication is nearest-neighbour halo
+exchange (cheap, point-to-point) plus an occasional global residual
+reduction — a much lower and differently-shaped communication profile
+than CG, which is exactly why it is useful for exercising the model at
+a different alpha.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mpi import ops
+from .base import WorkShell, Workload
+
+
+class StencilWorkload(Workload):
+    """Row-striped Jacobi iteration on a square mesh.
+
+    Boundary conditions: the global top edge is held at 1.0 ("hot"),
+    all other edges at 0.0; heat diffuses down the mesh.  Each step:
+
+    1. exchange boundary rows with the up/down neighbours (sendrecv);
+    2. Jacobi-update the local strip (real numpy arithmetic, plus a
+       modeled compute charge);
+    3. every ``residual_every`` steps, allreduce the max update delta.
+    """
+
+    name = "stencil"
+
+    def __init__(
+        self,
+        grid: int = 32,
+        total_steps: int = 100,
+        residual_every: int = 10,
+        flops_per_second: float = 5e8,
+    ) -> None:
+        if grid < 4:
+            raise ConfigurationError(f"grid must be >= 4, got {grid}")
+        if total_steps < 1:
+            raise ConfigurationError(f"total_steps must be >= 1, got {total_steps}")
+        if residual_every < 1:
+            raise ConfigurationError(
+                f"residual_every must be >= 1, got {residual_every}"
+            )
+        self.grid = grid
+        self._total_steps = total_steps
+        self.residual_every = residual_every
+        self.flops_per_second = flops_per_second
+        self._configured = False
+
+    def configure(self, rank: int, size: int, rng: np.random.Generator) -> None:
+        if size > self.grid:
+            raise ConfigurationError(f"more ranks ({size}) than rows ({self.grid})")
+        self.rank = rank
+        self.size = size
+        counts = [
+            self.grid // size + (1 if r < self.grid % size else 0) for r in range(size)
+        ]
+        self.local_rows = counts[rank]
+        self.row_start = sum(counts[:rank])
+        self.field = np.zeros((self.local_rows, self.grid), dtype=np.float64)
+        if rank == 0:
+            self.field[0, 1:-1] = 1.0  # hot top edge (interior columns)
+        self.iteration = 0
+        self.last_delta = float("inf")
+        self._configured = True
+
+    @property
+    def total_steps(self) -> int:
+        return self._total_steps
+
+    def step(self, shell: WorkShell, index: int):
+        if not self._configured:
+            raise ConfigurationError("step() before configure()")
+        comm = shell.comm
+        up = self.rank - 1
+        down = self.rank + 1
+        ghost_above = np.zeros(self.grid, dtype=np.float64)
+        ghost_below = np.zeros(self.grid, dtype=np.float64)
+        # Halo exchange: send my edge rows, receive the neighbours'.
+        if up >= 0:
+            (payload, _status) = yield from comm.sendrecv(
+                self.field[0].copy(), up, source=up, send_tag=11, recv_tag=12
+            )
+            ghost_above = payload
+        if down < self.size:
+            (payload, _status) = yield from comm.sendrecv(
+                self.field[-1].copy(), down, source=down, send_tag=12, recv_tag=11
+            )
+            ghost_below = payload
+
+        padded = np.vstack([ghost_above, self.field, ghost_below])
+        updated = 0.25 * (
+            padded[:-2, :]
+            + padded[2:, :]
+            + np.roll(padded[1:-1, :], 1, axis=1)
+            + np.roll(padded[1:-1, :], -1, axis=1)
+        )
+        # Dirichlet edges: left/right columns clamp to 0, the global top
+        # row stays hot, the global bottom row stays cold.
+        updated[:, 0] = 0.0
+        updated[:, -1] = 0.0
+        if self.rank == 0:
+            updated[0, :] = self.field[0, :]
+        if self.rank == self.size - 1:
+            updated[-1, :] = 0.0
+        delta = float(np.max(np.abs(updated - self.field)))
+        self.field = updated
+        flops = 6.0 * self.local_rows * self.grid
+        yield shell.compute(flops / self.flops_per_second)
+        if (self.iteration + 1) % self.residual_every == 0:
+            delta = yield from comm.allreduce(delta, ops.MAX)
+        self.last_delta = delta
+        self.iteration += 1
+
+    def finalize(self, shell: WorkShell):
+        heat = yield from shell.comm.allreduce(float(self.field.sum()), ops.SUM)
+        return {
+            "iterations": self.iteration,
+            "total_heat": heat,
+            "last_delta": self.last_delta,
+        }
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "field": self.field.copy(),
+            "last_delta": self.last_delta,
+        }
+
+    def load(self, state: Dict[str, Any]) -> None:
+        self.iteration = state["iteration"]
+        self.field = state["field"].copy()
+        self.last_delta = state["last_delta"]
+
+    def local_result(self) -> Any:
+        return {"iterations": self.iteration, "last_delta": self.last_delta}

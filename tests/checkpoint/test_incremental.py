@@ -1,0 +1,108 @@
+"""Tests for incremental / compressed checkpointing variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.checkpoint.incremental import (
+    IncrementalCheckpointer,
+    compress_image,
+    decompress_image,
+)
+from repro.errors import CheckpointError, ConfigurationError
+
+
+class TestIncremental:
+    def test_first_capture_is_full(self):
+        inc = IncrementalCheckpointer()
+        image = inc.capture({"a": 1})
+        assert image.is_full
+
+    def test_unchanged_state_yields_tiny_delta(self):
+        inc = IncrementalCheckpointer(full_every=10)
+        state = {"big": np.zeros(10_000), "step": 0}
+        full = inc.capture(state)
+        delta = inc.capture(state)
+        assert not delta.is_full
+        assert delta.nbytes < full.nbytes / 100
+
+    def test_changed_key_captured(self):
+        inc = IncrementalCheckpointer(full_every=10)
+        inc.capture({"a": 1, "b": 2})
+        inc.capture({"a": 1, "b": 3})
+        assert inc.restore() == {"a": 1, "b": 3}
+
+    def test_deleted_key_tombstoned(self):
+        inc = IncrementalCheckpointer(full_every=10)
+        inc.capture({"a": 1, "b": 2})
+        inc.capture({"a": 1})
+        assert inc.restore() == {"a": 1}
+
+    def test_periodic_full_resets_chain(self):
+        inc = IncrementalCheckpointer(full_every=2)
+        inc.capture({"a": 0})
+        inc.capture({"a": 1})
+        image = inc.capture({"a": 2})
+        assert image.is_full
+        assert inc.chain_length == 1
+
+    def test_restore_requires_full_base(self):
+        inc = IncrementalCheckpointer(full_every=4)
+        inc.capture({"a": 0})
+        delta = inc.capture({"a": 1})
+        with pytest.raises(CheckpointError):
+            inc.restore([delta])
+
+    def test_excluded_keys_not_persisted(self):
+        inc = IncrementalCheckpointer(excluded={"scratch"})
+        inc.capture({"a": 1, "scratch": np.zeros(1000)})
+        assert inc.restore() == {"a": 1}
+
+    def test_non_dict_state_rejected(self):
+        with pytest.raises(CheckpointError):
+            IncrementalCheckpointer().capture([1, 2])
+
+    def test_bad_full_every(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalCheckpointer(full_every=0)
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_restore_always_equals_last_state(self, states):
+        inc = IncrementalCheckpointer(full_every=3)
+        for state in states:
+            inc.capture(state)
+        assert inc.restore() == states[-1]
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        data = b"abc" * 10_000
+        compressed, _cost = compress_image(data)
+        assert decompress_image(compressed) == data
+
+    def test_compressible_data_shrinks(self):
+        data = b"\x00" * 100_000
+        compressed, _ = compress_image(data)
+        assert len(compressed) < len(data) / 10
+
+    def test_cpu_cost_scales_with_input(self):
+        _, small_cost = compress_image(b"x" * 1000, cpu_bytes_per_second=1000)
+        _, big_cost = compress_image(b"x" * 2000, cpu_bytes_per_second=1000)
+        assert big_cost == pytest.approx(2 * small_cost)
+
+    def test_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            compress_image(b"x", level=10)
+
+    def test_cpu_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            compress_image(b"x", cpu_bytes_per_second=0)

@@ -1,0 +1,81 @@
+"""Tests for the machine inventory."""
+
+import pytest
+
+from repro.cluster import Machine, NodeState
+from repro.errors import AllocationError, ConfigurationError
+
+
+class TestInventory:
+    def test_len(self):
+        assert len(Machine(node_count=5)) == 5
+
+    def test_node_lookup(self):
+        machine = Machine(node_count=3)
+        assert machine.node(2).index == 2
+
+    def test_bad_index(self):
+        with pytest.raises(ConfigurationError):
+            Machine(node_count=3).node(99)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ConfigurationError):
+            Machine(node_count=0)
+
+    def test_up_nodes(self):
+        machine = Machine(node_count=4)
+        machine.fail_node(1, now=0.0)
+        assert [node.index for node in machine.up_nodes()] == [0, 2, 3]
+
+
+class TestFailureHandling:
+    def test_fail_node_notifies_watchers(self):
+        machine = Machine(node_count=2)
+        deaths = []
+        machine.on_node_death(lambda node: deaths.append(node.index))
+        machine.fail_node(0, now=5.0)
+        assert deaths == [0]
+
+    def test_replace_mints_spare(self):
+        machine = Machine(node_count=2, cores_per_node=8)
+        machine.fail_node(0, now=1.0)
+        spare = machine.replace_node(0)
+        assert spare.index == 2
+        assert spare.cores == 8
+        assert machine.node(0).state is NodeState.RETIRED
+        assert len(machine) == 3
+
+    def test_replace_up_node_rejected(self):
+        machine = Machine(node_count=2)
+        with pytest.raises(AllocationError):
+            machine.replace_node(0)
+
+    def test_spare_pool_limit(self):
+        machine = Machine(node_count=2, spares=1)
+        machine.fail_node(0, now=0.0)
+        machine.replace_node(0)
+        machine.fail_node(1, now=1.0)
+        with pytest.raises(AllocationError):
+            machine.replace_node(1)
+
+    def test_unlimited_spares_by_default(self):
+        machine = Machine(node_count=1)
+        for step in range(5):
+            index = len(machine) - 1
+            machine.fail_node(index, now=float(step))
+            machine.replace_node(index)
+        assert len(machine) == 6
+
+
+class TestStatistics:
+    def test_failure_count(self):
+        machine = Machine(node_count=3)
+        machine.fail_node(0, now=0.0)
+        assert machine.failure_count() == 1
+
+    def test_summary(self):
+        machine = Machine(node_count=3)
+        machine.fail_node(0, now=0.0)
+        machine.replace_node(0)
+        summary = machine.summary()
+        assert summary == {"up": 3, "down": 0, "retired": 1}

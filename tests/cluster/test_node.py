@@ -1,0 +1,69 @@
+"""Tests for the node state machine."""
+
+import pytest
+
+from repro.cluster import Node, NodeState
+from repro.errors import ConfigurationError, NodeStateError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = Node(0)
+        assert node.state is NodeState.UP
+        assert node.is_up
+        assert node.cores == 16
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            Node(-1)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            Node(0, cores=0)
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            Node(0, mtbf=0.0)
+
+
+class TestTransitions:
+    def test_fail(self):
+        node = Node(1)
+        node.fail(now=12.5)
+        assert node.state is NodeState.DOWN
+        assert node.failed_at == 12.5
+        assert not node.is_up
+
+    def test_repair(self):
+        node = Node(1)
+        node.fail(now=1.0)
+        node.repair()
+        assert node.is_up
+        assert node.failed_at is None
+
+    def test_retire(self):
+        node = Node(1)
+        node.fail(now=1.0)
+        node.retire()
+        assert node.state is NodeState.RETIRED
+
+    def test_double_fail_rejected(self):
+        node = Node(1)
+        node.fail(now=1.0)
+        with pytest.raises(NodeStateError):
+            node.fail(now=2.0)
+
+    def test_repair_up_node_rejected(self):
+        with pytest.raises(NodeStateError):
+            Node(1).repair()
+
+    def test_retire_up_node_rejected(self):
+        with pytest.raises(NodeStateError):
+            Node(1).retire()
+
+    def test_fail_retired_node_rejected(self):
+        node = Node(1)
+        node.fail(now=1.0)
+        node.retire()
+        with pytest.raises(NodeStateError):
+            node.fail(now=3.0)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+def drive(env: Environment, generator):
+    """Run a single generator process to completion; return its value."""
+    process = env.process(generator)
+    env.run(until=process)
+    return process.value
+
+
+@pytest.fixture
+def run_process():
+    """Fixture alias for :func:`drive`."""
+    return drive

@@ -1,0 +1,55 @@
+"""Tests for the experiment registry and result records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "table1", "table2", "table3", "table4", "table5",
+    "fig2", "figs4to6", "fig11", "fig12", "fig13", "fig14",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(list_experiments()) == EXPECTED_IDS
+
+    def test_get_experiment_imports_module(self):
+        module = get_experiment("table2")
+        assert callable(module.run)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("table99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment == "table1"
+
+
+class TestResultRendering:
+    def test_render_contains_all_parts(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="A Title",
+            headers=["h1"],
+            rows=[[1.0]],
+            notes=["a note"],
+            findings={"key": 7},
+        )
+        text = result.render()
+        assert "A Title" in text
+        assert "h1" in text
+        assert "key: 7" in text
+        assert "note: a note" in text
+
+    def test_render_without_extras(self):
+        result = ExperimentResult("x", "T", ["h"], [[1]])
+        assert "note" not in result.render()

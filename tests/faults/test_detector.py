@@ -1,0 +1,51 @@
+"""Tests for latency-delayed failure detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FailureDetector
+from repro.mpi import SimMPI
+from repro.simkit import Environment
+
+
+def spawn_idle(world, duration=100.0):
+    def program(ctx):
+        yield ctx.compute(duration)
+
+    world.spawn(program)
+
+
+class TestDetection:
+    def test_zero_latency_immediate(self, env):
+        world = SimMPI(env, size=2)
+        spawn_idle(world)
+        detector = FailureDetector(world, latency=0.0)
+        seen = []
+        detector.subscribe(seen.append)
+        world.kill_rank(1)
+        assert seen == [1]
+
+    def test_latency_delays_notification(self, env):
+        world = SimMPI(env, size=2)
+        spawn_idle(world)
+        detector = FailureDetector(world, latency=3.0)
+        seen = []
+        detector.subscribe(lambda rank: seen.append((env.now, rank)))
+        world.kill_rank(0)
+        assert seen == []
+        env.run(until=10.0)
+        assert seen == [(3.0, 0)]
+
+    def test_detections_log(self, env):
+        world = SimMPI(env, size=3)
+        spawn_idle(world)
+        detector = FailureDetector(world, latency=1.0)
+        world.kill_rank(0)
+        world.kill_rank(2)
+        env.run(until=5.0)
+        assert [(t, r) for t, r in detector.detections] == [(1.0, 0), (1.0, 2)]
+
+    def test_negative_latency_rejected(self, env):
+        world = SimMPI(env, size=1)
+        with pytest.raises(ConfigurationError):
+            FailureDetector(world, latency=-1.0)

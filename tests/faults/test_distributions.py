@@ -1,0 +1,72 @@
+"""Tests for failure interarrival distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import Exponential, LogNormal, Weibull
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        dist = Exponential(mean=5.0)
+        draws = [dist.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(5.0, rel=0.05)
+
+    def test_positive(self, rng):
+        dist = Exponential(mean=1.0)
+        assert all(dist.sample(rng) > 0 for _ in range(100))
+
+    def test_memoryless_shape(self, rng):
+        # CV of an exponential is 1.
+        dist = Exponential(mean=3.0)
+        draws = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert np.std(draws) / np.mean(draws) == pytest.approx(1.0, rel=0.05)
+
+    @given(st.floats(max_value=0.0, allow_nan=False))
+    def test_rejects_bad_mean(self, mean):
+        with pytest.raises(ConfigurationError):
+            Exponential(mean)
+
+
+class TestWeibull:
+    def test_mean_preserved(self, rng):
+        dist = Weibull(mean=10.0, shape=0.7)
+        draws = [dist.sample(rng) for _ in range(40_000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_decreasing_hazard_has_higher_cv(self, rng):
+        # shape < 1 => more bursty than exponential.
+        dist = Weibull(mean=1.0, shape=0.7)
+        draws = np.array([dist.sample(rng) for _ in range(40_000)])
+        assert np.std(draws) / np.mean(draws) > 1.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Weibull(mean=0.0)
+        with pytest.raises(ConfigurationError):
+            Weibull(mean=1.0, shape=0.0)
+
+
+class TestLogNormal:
+    def test_mean_preserved(self, rng):
+        dist = LogNormal(mean=4.0, cv=0.5)
+        draws = [dist.sample(rng) for _ in range(40_000)]
+        assert np.mean(draws) == pytest.approx(4.0, rel=0.05)
+
+    def test_cv_preserved(self, rng):
+        dist = LogNormal(mean=1.0, cv=0.8)
+        draws = np.array([dist.sample(rng) for _ in range(40_000)])
+        assert np.std(draws) / np.mean(draws) == pytest.approx(0.8, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mean=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormal(mean=1.0, cv=0.0)

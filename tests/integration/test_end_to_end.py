@@ -1,0 +1,192 @@
+"""End-to-end integration: every substrate working together.
+
+These are the repository's "does the whole thing hold up" tests: real
+workloads, transparent redundancy, coordinated checkpointing, injected
+failures, rollbacks — asserting both survival *and* numerical
+correctness of the final answers.
+"""
+
+import pytest
+
+from repro.orchestration import JobConfig, ResilientJob
+from repro.redundancy import MSG_PLUS_HASH
+from repro.workloads import (
+    ConjugateGradientWorkload,
+    StencilWorkload,
+    SyntheticWorkload,
+)
+
+
+def cg_factory():
+    return ConjugateGradientWorkload(
+        grid=8, total_steps=30, cycle_length=25, flops_per_second=2e4
+    )
+
+
+def stencil_factory():
+    return StencilWorkload(grid=12, total_steps=30, flops_per_second=2e4)
+
+
+class TestCGUnderTheFullStack:
+    @pytest.fixture(scope="class")
+    def clean_result(self):
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=cg_factory, virtual_processes=4, checkpointing=False
+            )
+        ).run()
+        return report.result
+
+    @pytest.mark.parametrize("redundancy", [1.0, 1.5, 2.0, 3.0])
+    def test_faulty_run_matches_clean_numerics(self, clean_result, redundancy):
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=cg_factory,
+                virtual_processes=4,
+                redundancy=redundancy,
+                node_mtbf=15.0,
+                checkpoint_interval=0.8,
+                checkpoint_cost=0.05,
+                restart_cost=0.2,
+                seed=int(redundancy * 100),
+            )
+        ).run()
+        assert report.completed
+        assert report.result["checksum"] == pytest.approx(
+            clean_result["checksum"], abs=1e-9
+        )
+        assert report.result["residual"] == pytest.approx(
+            clean_result["residual"], rel=1e-9
+        )
+
+    def test_msg_plus_hash_mode_full_stack(self, clean_result):
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=cg_factory,
+                virtual_processes=4,
+                redundancy=2.0,
+                mode=MSG_PLUS_HASH,
+                node_mtbf=15.0,
+                checkpoint_interval=0.8,
+                checkpoint_cost=0.05,
+                restart_cost=0.2,
+                seed=77,
+            )
+        ).run()
+        assert report.completed
+        assert report.result["checksum"] == pytest.approx(
+            clean_result["checksum"], abs=1e-9
+        )
+
+    def test_block_replica_strategy(self, clean_result):
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=cg_factory,
+                virtual_processes=4,
+                redundancy=1.5,
+                replica_strategy="block",
+                node_mtbf=15.0,
+                checkpoint_interval=0.8,
+                checkpoint_cost=0.05,
+                restart_cost=0.2,
+                seed=13,
+            )
+        ).run()
+        assert report.completed
+        assert report.result["checksum"] == pytest.approx(
+            clean_result["checksum"], abs=1e-9
+        )
+
+
+class TestStencilUnderTheFullStack:
+    def test_heat_answer_survives_failures(self):
+        clean = ResilientJob(
+            JobConfig(
+                workload_factory=stencil_factory,
+                virtual_processes=3,
+                checkpointing=False,
+            )
+        ).run()
+        faulty = ResilientJob(
+            JobConfig(
+                workload_factory=stencil_factory,
+                virtual_processes=3,
+                redundancy=2.0,
+                node_mtbf=10.0,
+                checkpoint_interval=0.5,
+                checkpoint_cost=0.03,
+                restart_cost=0.15,
+                seed=4,
+            )
+        ).run()
+        assert faulty.completed
+        assert faulty.result["total_heat"] == pytest.approx(
+            clean.result["total_heat"], rel=1e-12
+        )
+
+
+class TestEmergentCosts:
+    def test_storage_emergent_checkpoint_cost(self):
+        # No fixed c: checkpoint cost comes from image sizes and
+        # storage bandwidth; the run still completes and recovers.
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=lambda: SyntheticWorkload(
+                    total_steps=40, compute_seconds=0.05, message_bytes=2048
+                ),
+                virtual_processes=4,
+                redundancy=1.0,
+                node_mtbf=10.0,
+                checkpoint_interval=0.5,
+                checkpoint_cost=None,
+                restart_cost=0.2,
+                storage_write_bandwidth=1e6,
+                seed=6,
+            )
+        ).run()
+        assert report.completed
+        assert report.time_in_checkpoints > 0
+
+    def test_timed_restart_reads(self):
+        # restart_cost=None: restart pays actual storage read time.
+        report = ResilientJob(
+            JobConfig(
+                workload_factory=lambda: SyntheticWorkload(
+                    total_steps=40, compute_seconds=0.05, message_bytes=2048
+                ),
+                virtual_processes=4,
+                redundancy=1.0,
+                node_mtbf=6.0,
+                checkpoint_interval=0.4,
+                checkpoint_cost=0.02,
+                restart_cost=None,
+                seed=8,
+            )
+        ).run()
+        assert report.completed
+
+
+class TestSuppressionSemantics:
+    def test_unsuppressed_runs_longer_or_equal(self):
+        def config(suppress):
+            return JobConfig(
+                workload_factory=lambda: SyntheticWorkload(
+                    total_steps=50, compute_seconds=0.05, message_bytes=2048
+                ),
+                virtual_processes=4,
+                redundancy=1.0,
+                node_mtbf=6.0,
+                checkpoint_interval=0.4,
+                checkpoint_cost=0.1,
+                restart_cost=0.3,
+                suppress_failures_during_cr=suppress,
+                seed=11,
+            )
+
+        suppressed = ResilientJob(config(True)).run()
+        unsuppressed = ResilientJob(config(False)).run()
+        assert suppressed.completed and unsuppressed.completed
+        # With failures allowed inside C/R windows, at least as many
+        # failures land and the run cannot be faster in expectation;
+        # with a fixed seed we assert the count ordering.
+        assert unsuppressed.failures_injected >= suppressed.failures_injected

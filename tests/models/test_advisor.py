@@ -1,0 +1,87 @@
+"""Tests for the configuration advisor."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError, ModelDivergence
+from repro.models import CombinedModel, recommend
+
+
+def machine(**overrides):
+    params = dict(
+        virtual_processes=50_000,
+        redundancy=1.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(8),
+        restart_cost=units.minutes(12),
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+class TestRecommendations:
+    def test_large_scale_recommends_dual(self):
+        rec = recommend(machine())
+        assert rec.redundancy == 2.0
+        assert rec.speedup_vs_plain > 1.5
+        assert rec.total_processes == 100_000
+        assert "MTBF" in rec.rationale
+
+    def test_small_scale_recommends_plain(self):
+        rec = recommend(machine(virtual_processes=100))
+        assert rec.redundancy == 1.0
+        assert rec.speedup_vs_plain == pytest.approx(1.0)
+        assert "run plain" in rec.rationale
+
+    def test_interval_matches_chosen_degree(self):
+        rec = recommend(machine())
+        direct = machine().with_redundancy(rec.redundancy).evaluate()
+        assert rec.checkpoint_interval == pytest.approx(direct.checkpoint_interval)
+        assert rec.total_time == pytest.approx(direct.total_time)
+
+    def test_candidates_cover_grid(self):
+        rec = recommend(machine())
+        assert len(rec.candidates) == 9
+
+    def test_divergent_plain_reports_infinite_speedup(self):
+        # A scale where 1x has no finite completion time but 2x does.
+        rec = recommend(machine(virtual_processes=1_000_000,
+                                node_mtbf=units.days(120)))
+        assert rec.redundancy >= 2.0
+        assert math.isinf(rec.speedup_vs_plain)
+        assert "divergent" in rec.rationale
+
+
+class TestBudgets:
+    def test_budget_excludes_expensive_degrees(self):
+        rec = recommend(machine(), node_budget=80_000)
+        # 2x needs 100k processes; best affordable is at most 1.5x.
+        assert rec.total_processes <= 80_000
+        assert rec.redundancy <= 1.5
+        assert "budget" in rec.rationale
+
+    def test_budget_below_plain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommend(machine(), node_budget=10_000)
+
+    def test_exact_budget_for_dual(self):
+        rec = recommend(machine(), node_budget=100_000)
+        assert rec.redundancy == 2.0
+
+
+class TestCostWeights:
+    def test_resource_weight_pushes_toward_plain(self):
+        time_only = recommend(machine())
+        resource_heavy = recommend(machine(), resource_weight=1.0)
+        assert resource_heavy.redundancy <= time_only.redundancy
+
+    def test_all_divergent_raises(self):
+        with pytest.raises(ModelDivergence):
+            recommend(
+                machine(virtual_processes=10_000_000, node_mtbf=units.hours(3)),
+                grid=(1.0,),
+            )

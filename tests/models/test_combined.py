@@ -1,0 +1,119 @@
+"""Tests for the combined pipeline (Section 4.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError, ModelDivergence
+from repro.models import CombinedModel
+
+
+def paper_model(**overrides):
+    params = dict(
+        virtual_processes=50_000,
+        redundancy=2.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(10),
+        restart_cost=units.minutes(15),
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+class TestPipeline:
+    def test_result_fields_consistent(self):
+        result = paper_model().evaluate()
+        assert result.redundant_time == pytest.approx(
+            0.8 * units.hours(128) + 0.2 * units.hours(128) * 2
+        )
+        assert result.system_mtbf == pytest.approx(1.0 / result.failure_rate)
+        assert result.total_time >= result.redundant_time
+        assert result.total_processes == 100_000
+        assert result.node_seconds == result.total_processes * result.total_time
+
+    def test_expected_counts(self):
+        result = paper_model().evaluate()
+        assert result.expected_checkpoints == pytest.approx(
+            result.redundant_time / result.checkpoint_interval
+        )
+        assert result.expected_failures == pytest.approx(
+            result.total_time * result.failure_rate
+        )
+
+    def test_r2_beats_r1_at_scale(self):
+        t1 = paper_model(redundancy=1.0).evaluate().total_time
+        t2 = paper_model(redundancy=2.0).evaluate().total_time
+        assert t2 < t1
+
+    def test_r1_wins_at_small_scale(self):
+        t1 = paper_model(virtual_processes=100, redundancy=1.0).evaluate().total_time
+        t2 = paper_model(virtual_processes=100, redundancy=2.0).evaluate().total_time
+        assert t1 < t2
+
+    def test_interval_override(self):
+        fixed = paper_model(checkpoint_interval=units.hours(1.0)).evaluate()
+        assert fixed.checkpoint_interval == units.hours(1.0)
+
+    def test_young_rule(self):
+        daly = paper_model().evaluate()
+        young = paper_model(interval_rule="young").evaluate()
+        assert daly.checkpoint_interval != young.checkpoint_interval
+
+    def test_exact_reliability_flag(self):
+        linear = paper_model().evaluate()
+        exact = paper_model(exact_reliability=True).evaluate()
+        assert linear.failure_rate != exact.failure_rate
+
+    def test_divergence_raises(self):
+        doomed = paper_model(
+            virtual_processes=5_000_000, redundancy=1.0, node_mtbf=units.days(30)
+        )
+        with pytest.raises(ModelDivergence):
+            doomed.evaluate()
+
+    def test_total_time_or_inf(self):
+        doomed = paper_model(
+            virtual_processes=5_000_000, redundancy=1.0, node_mtbf=units.days(30)
+        )
+        assert math.isinf(doomed.total_time_or_inf())
+        assert paper_model().total_time_or_inf() > 0
+
+
+class TestBuilders:
+    def test_with_redundancy(self):
+        derived = paper_model().with_redundancy(3.0)
+        assert derived.redundancy == 3.0
+        assert derived.virtual_processes == 50_000
+
+    def test_with_processes(self):
+        derived = paper_model().with_processes(123)
+        assert derived.virtual_processes == 123
+        assert derived.redundancy == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paper_model(interval_rule="guess")
+        with pytest.raises(ConfigurationError):
+            paper_model(checkpoint_interval=0.0)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=10, max_value=50_000),
+        st.sampled_from([1.0, 1.5, 2.0, 2.5, 3.0]),
+    )
+    @settings(max_examples=60)
+    def test_total_time_finite_or_divergence(self, n, r):
+        model = paper_model(virtual_processes=n, redundancy=r)
+        value = model.total_time_or_inf()
+        assert value > 0
+
+    @given(st.sampled_from([1.0, 1.5, 2.0, 2.5, 3.0]))
+    def test_reliability_increases_with_redundancy(self, r):
+        low = paper_model(redundancy=1.0).evaluate().system_reliability
+        high = paper_model(redundancy=r).evaluate().system_reliability
+        assert high >= low - 1e-12

@@ -1,0 +1,66 @@
+"""Tests for the resource/time cost functions."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.models import CombinedModel, node_hours, weighted_cost
+
+
+@pytest.fixture
+def results():
+    base = CombinedModel(
+        virtual_processes=50_000,
+        redundancy=1.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(8),
+        restart_cost=units.minutes(12),
+    )
+    return base.evaluate(), base.with_redundancy(2.0).evaluate()
+
+
+class TestNodeHours:
+    def test_definition(self, results):
+        plain, _ = results
+        assert node_hours(plain) == pytest.approx(
+            plain.total_processes * plain.total_time / 3600.0
+        )
+
+    def test_redundancy_trades_nodes_for_time(self, results):
+        plain, redundant = results
+        assert redundant.total_processes == 2 * plain.total_processes
+        assert redundant.total_time < plain.total_time
+
+
+class TestWeightedCost:
+    def test_time_only_prefers_redundancy_at_scale(self, results):
+        plain, redundant = results
+        assert weighted_cost(redundant, 1.0, 0.0) < weighted_cost(plain, 1.0, 0.0)
+
+    def test_resource_only_prefers_plain(self, results):
+        plain, redundant = results
+        assert weighted_cost(plain, 0.0, 1.0) < weighted_cost(redundant, 0.0, 1.0)
+
+    def test_normalised_reference_is_unit_cost(self, results):
+        plain, _ = results
+        assert weighted_cost(plain, 0.5, 0.5, reference=plain) == pytest.approx(1.0)
+
+    def test_knob_flips_preference(self, results):
+        # The paper's "tuning knob": weights decide which config wins.
+        plain, redundant = results
+        time_heavy = weighted_cost(redundant, 1.0, 0.1, reference=plain) < weighted_cost(
+            plain, 1.0, 0.1, reference=plain
+        )
+        resource_heavy = weighted_cost(
+            redundant, 0.1, 1.0, reference=plain
+        ) > weighted_cost(plain, 0.1, 1.0, reference=plain)
+        assert time_heavy and resource_heavy
+
+    def test_validation(self, results):
+        plain, _ = results
+        with pytest.raises(ConfigurationError):
+            weighted_cost(plain, -1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            weighted_cost(plain, 0.0, 0.0)

@@ -1,0 +1,139 @@
+"""Tests for sweeps, optimal degrees, crossovers and break-evens."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError, ModelDivergence
+from repro.models import (
+    CombinedModel,
+    PAPER_REDUNDANCY_GRID,
+    find_crossover,
+    optimal_interval,
+    optimal_redundancy,
+    sweep_processes,
+    sweep_redundancy,
+    throughput_break_even,
+)
+
+
+def model(**overrides):
+    params = dict(
+        virtual_processes=50_000,
+        redundancy=1.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(8),
+        restart_cost=units.minutes(12),
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+class TestSweeps:
+    def test_paper_grid_has_nine_degrees(self):
+        assert PAPER_REDUNDANCY_GRID == (1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0)
+
+    def test_sweep_covers_grid(self):
+        points = sweep_redundancy(model())
+        assert [p.redundancy for p in points] == list(PAPER_REDUNDANCY_GRID)
+
+    def test_divergent_points_marked(self):
+        doomed = model(virtual_processes=1_000_000, node_mtbf=units.days(120))
+        points = sweep_redundancy(doomed, grid=[1.0, 3.0])
+        assert points[0].diverged
+        assert math.isinf(points[0].total_time)
+        assert not points[1].diverged
+
+    def test_optimal_redundancy_is_min(self):
+        best = optimal_redundancy(model())
+        points = sweep_redundancy(model())
+        assert best.total_time == min(p.total_time for p in points)
+
+    def test_optimal_at_scale_is_2x(self):
+        assert optimal_redundancy(model()).redundancy == 2.0
+
+    def test_all_divergent_raises(self):
+        doomed = model(virtual_processes=10_000_000, node_mtbf=units.hours(5))
+        with pytest.raises(ModelDivergence):
+            optimal_redundancy(doomed, grid=[1.0])
+
+    def test_sweep_processes(self):
+        points = sweep_processes(model(), 2.0, [100, 1000, 10_000])
+        times = [p.total_time for p in points]
+        assert times == sorted(times)  # weak scaling: more procs, more time
+
+
+class TestOptimalInterval:
+    def test_daly_near_numeric_optimum(self):
+        configuration = model(redundancy=2.0)
+        daly = configuration.evaluate().checkpoint_interval
+        numeric = optimal_interval(configuration)
+        assert numeric == pytest.approx(daly, rel=0.25)
+
+    def test_bad_bracket(self):
+        with pytest.raises(ConfigurationError):
+            optimal_interval(model(), bracket_factor=1.0)
+
+
+class TestCrossovers:
+    def test_fig13_crossover_ordering(self):
+        cross_2x = find_crossover(model(), 1.0, 2.0)
+        cross_3x = find_crossover(model(), 1.0, 3.0)
+        assert cross_2x.processes < cross_3x.processes
+
+    def test_fig13_crossover_band(self):
+        # Paper: 4,351 and 12,551; ours must land in the same bands.
+        cross_2x = find_crossover(model(), 1.0, 2.0)
+        cross_3x = find_crossover(model(), 1.0, 3.0)
+        assert 1_000 < cross_2x.processes < 20_000
+        assert 5_000 < cross_3x.processes < 50_000
+
+    def test_crossover_is_tight(self):
+        cross = find_crossover(model(), 1.0, 2.0)
+        below = model().with_processes(cross.processes - 1)
+        at = model().with_processes(cross.processes)
+        assert below.with_redundancy(2.0).total_time_or_inf() > (
+            below.with_redundancy(1.0).total_time_or_inf()
+        )
+        assert at.with_redundancy(2.0).total_time_or_inf() <= (
+            at.with_redundancy(1.0).total_time_or_inf()
+        )
+
+    def test_never_crossing_raises(self):
+        # 2.5x never beats 2x at these settings within the cap.
+        with pytest.raises(ModelDivergence):
+            find_crossover(model(), 2.0, 2.5, max_processes=100_000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover(model(), 1.0, 2.0, max_processes=10, min_processes=10)
+
+
+class TestThroughputBreakEven:
+    def test_fig14_band(self):
+        point = throughput_break_even(model(), redundancy=2.0, jobs=2)
+        # Paper: 78,536; same order of magnitude required.
+        assert 20_000 < point.processes < 300_000
+
+    def test_two_jobs_fit(self):
+        point = throughput_break_even(model(), redundancy=2.0, jobs=2)
+        plain = model().with_processes(point.processes).total_time_or_inf()
+        redundant = (
+            model()
+            .with_processes(point.processes)
+            .with_redundancy(2.0)
+            .total_time_or_inf()
+        )
+        assert 2 * redundant <= plain
+
+    def test_more_jobs_need_more_processes(self):
+        two = throughput_break_even(model(), jobs=2)
+        three = throughput_break_even(model(), jobs=3)
+        assert three.processes > two.processes
+
+    def test_jobs_validation(self):
+        with pytest.raises(ConfigurationError):
+            throughput_break_even(model(), jobs=0)

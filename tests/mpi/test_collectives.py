@@ -1,0 +1,214 @@
+"""Tests for collectives at many sizes (incl. non-powers of two)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import SimMPI, ops
+from repro.simkit import Environment
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12]
+
+
+def run_collective(size, program):
+    env = Environment()
+    world = SimMPI(env, size=size)
+    world.spawn(program)
+    world.run()
+    return world
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestEachCollective:
+    def test_allreduce_sum(self, size):
+        def program(ctx):
+            total = yield from ctx.comm.allreduce(ctx.rank + 1, ops.SUM)
+            return total
+
+        world = run_collective(size, program)
+        expected = size * (size + 1) // 2
+        assert all(world.result_of(r) == expected for r in range(size))
+
+    def test_bcast_from_every_root(self, size):
+        def program(ctx):
+            values = []
+            for root in range(ctx.size):
+                value = f"root{root}" if ctx.rank == root else None
+                got = yield from ctx.comm.bcast(value, root)
+                values.append(got)
+            return values
+
+        world = run_collective(size, program)
+        expected = [f"root{r}" for r in range(size)]
+        assert all(world.result_of(r) == expected for r in range(size))
+
+    def test_reduce_max_at_root(self, size):
+        def program(ctx):
+            result = yield from ctx.comm.reduce(ctx.rank * 10, ops.MAX, root=0)
+            return result
+
+        world = run_collective(size, program)
+        assert world.result_of(0) == (size - 1) * 10
+        assert all(world.result_of(r) is None for r in range(1, size))
+
+    def test_gather(self, size):
+        def program(ctx):
+            result = yield from ctx.comm.gather(ctx.rank**2, root=size - 1)
+            return result
+
+        world = run_collective(size, program)
+        assert world.result_of(size - 1) == [r**2 for r in range(size)]
+
+    def test_allgather(self, size):
+        def program(ctx):
+            result = yield from ctx.comm.allgather(chr(ord("a") + ctx.rank))
+            return result
+
+        world = run_collective(size, program)
+        expected = [chr(ord("a") + r) for r in range(size)]
+        assert all(world.result_of(r) == expected for r in range(size))
+
+    def test_scatter(self, size):
+        def program(ctx):
+            values = [f"s{i}" for i in range(ctx.size)] if ctx.rank == 0 else None
+            result = yield from ctx.comm.scatter(values, root=0)
+            return result
+
+        world = run_collective(size, program)
+        assert all(world.result_of(r) == f"s{r}" for r in range(size))
+
+    def test_alltoall(self, size):
+        def program(ctx):
+            outbox = [ctx.rank * 100 + dest for dest in range(ctx.size)]
+            result = yield from ctx.comm.alltoall(outbox)
+            return result
+
+        world = run_collective(size, program)
+        for rank in range(size):
+            assert world.result_of(rank) == [s * 100 + rank for s in range(size)]
+
+    def test_barrier_synchronises(self, size):
+        log = []
+
+        def program(ctx):
+            yield ctx.compute(float(ctx.rank))  # stagger arrivals
+            log.append(("before", ctx.rank, ctx.env.now))
+            yield from ctx.comm.barrier()
+            log.append(("after", ctx.rank, ctx.env.now))
+
+        run_collective(size, program)
+        last_before = max(t for phase, _, t in log if phase == "before")
+        first_after = min(t for phase, _, t in log if phase == "after")
+        assert first_after >= last_before
+
+
+class TestNumericsAndValidation:
+    def test_allreduce_numpy_array(self):
+        def program(ctx):
+            local = np.full(4, float(ctx.rank))
+            total = yield from ctx.comm.allreduce(local, ops.SUM)
+            return total
+
+        world = run_collective(4, program)
+        assert np.array_equal(world.result_of(0), np.full(4, 6.0))
+
+    def test_reduce_min(self):
+        def program(ctx):
+            result = yield from ctx.comm.reduce(-ctx.rank, ops.MIN, root=0)
+            return result
+
+        world = run_collective(5, program)
+        assert world.result_of(0) == -4
+
+    def test_logical_ops(self):
+        def program(ctx):
+            any_true = yield from ctx.comm.allreduce(ctx.rank == 2, ops.LOR)
+            all_true = yield from ctx.comm.allreduce(ctx.rank < 10, ops.LAND)
+            return any_true, all_true
+
+        world = run_collective(4, program)
+        assert world.result_of(0) == (True, True)
+
+    def test_bad_root_rejected(self):
+        def program(ctx):
+            with pytest.raises(CommunicatorError):
+                yield from ctx.comm.bcast("x", root=5)
+
+        run_collective(2, program)
+
+    def test_scatter_wrong_length_rejected(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(CommunicatorError):
+                    yield from ctx.comm.scatter(["only-one"], root=0)
+            else:
+                yield ctx.env.timeout(0)
+
+        run_collective(2, program)
+
+    def test_alltoall_wrong_length_rejected(self):
+        def program(ctx):
+            with pytest.raises(CommunicatorError):
+                yield from ctx.comm.alltoall([1])
+            yield ctx.env.timeout(0)
+
+        run_collective(3, program)
+
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        def program(ctx):
+            first = yield from ctx.comm.allreduce(1, ops.SUM)
+            second = yield from ctx.comm.allreduce(10, ops.SUM)
+            third = yield from ctx.comm.allgather(ctx.rank)
+            return first, second, third
+
+        world = run_collective(6, program)
+        assert world.result_of(3) == (6, 60, list(range(6)))
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_inclusive_prefix_sums(self, size):
+        def program(ctx):
+            result = yield from ctx.comm.scan(ctx.rank + 1, ops.SUM)
+            return result
+
+        world = run_collective(size, program)
+        for rank in range(size):
+            assert world.result_of(rank) == (rank + 1) * (rank + 2) // 2
+
+    def test_scan_respects_rank_order(self):
+        # Fold strings: non-commutative, so ordering is observable.
+        def program(ctx):
+            result = yield from ctx.comm.scan(str(ctx.rank), lambda a, b: a + b)
+            return result
+
+        world = run_collective(4, program)
+        assert world.result_of(3) == "0123"
+
+    def test_scan_single_rank(self):
+        def program(ctx):
+            result = yield from ctx.comm.scan(7, ops.SUM)
+            return result
+
+        world = run_collective(1, program)
+        assert world.result_of(0) == 7
+
+    def test_scan_under_redundancy(self):
+        from repro.redundancy import RedComm, ReplicaMap, SphereTracker
+        from repro.simkit import Environment
+
+        env = Environment()
+        rmap = ReplicaMap(4, 2.0)
+        tracker = SphereTracker(rmap)
+        world = SimMPI(env, size=rmap.total_physical)
+        results = {}
+
+        def program(ctx):
+            red = RedComm(ctx, rmap, tracker)
+            value = yield from red.scan(red.rank, ops.SUM)
+            results[ctx.rank] = (red.rank, value)
+
+        world.spawn(program)
+        world.run()
+        for _physical, (virtual, value) in results.items():
+            assert value == virtual * (virtual + 1) // 2

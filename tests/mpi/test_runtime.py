@@ -1,0 +1,242 @@
+"""Tests for the SimMPI runtime: lifecycle, liveness, accounting."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import SimMPI
+from repro.simkit import Environment
+
+
+class TestLifecycle:
+    def test_result_of_requires_completion(self):
+        env = Environment()
+        world = SimMPI(env, size=1)
+
+        def program(ctx):
+            yield ctx.compute(1.0)
+            return "ok"
+
+        world.spawn(program)
+        with pytest.raises(MPIError):
+            world.result_of(0)
+        world.run()
+        assert world.result_of(0) == "ok"
+
+    def test_run_before_spawn_rejected(self):
+        world = SimMPI(Environment(), size=1)
+        with pytest.raises(MPIError):
+            world.run()
+
+    def test_double_spawn_rejected(self):
+        world = SimMPI(Environment(), size=1)
+
+        def program(ctx):
+            yield ctx.compute(0.0)
+
+        world.spawn(program)
+        with pytest.raises(MPIError):
+            world.spawn(program)
+
+    def test_run_until_horizon(self):
+        env = Environment()
+        world = SimMPI(env, size=1)
+
+        def program(ctx):
+            yield ctx.compute(10.0)
+
+        world.spawn(program)
+        world.run(until=1.0)
+        assert env.now == 1.0
+        assert not world.all_done()
+
+    def test_all_done(self):
+        world = SimMPI(Environment(), size=2)
+
+        def program(ctx):
+            yield ctx.compute(float(ctx.rank))
+
+        world.spawn(program)
+        world.run()
+        assert world.all_done()
+
+    def test_world_size_validation(self):
+        with pytest.raises(MPIError):
+            SimMPI(Environment(), size=0)
+
+    def test_compute_scale(self):
+        env = Environment()
+        world = SimMPI(env, size=1, compute_scale=0.5)
+
+        def program(ctx):
+            yield ctx.compute(10.0)
+
+        world.spawn(program)
+        world.run()
+        assert env.now == pytest.approx(5.0)
+
+
+class TestLiveness:
+    def test_kill_rank_updates_liveness(self):
+        world = SimMPI(Environment(), size=3)
+
+        def program(ctx):
+            yield ctx.compute(100.0)
+
+        world.spawn(program)
+        world.kill_rank(1)
+        assert not world.is_alive(1)
+        assert world.alive_ranks == {0, 2}
+
+    def test_kill_is_idempotent(self):
+        world = SimMPI(Environment(), size=2)
+
+        def program(ctx):
+            yield ctx.compute(1.0)
+
+        world.spawn(program)
+        world.kill_rank(0)
+        world.kill_rank(0)
+        assert world.counters["ranks_killed"] == 1
+
+    def test_death_watchers_called(self):
+        world = SimMPI(Environment(), size=2)
+        deaths = []
+        world.on_rank_death(deaths.append)
+
+        def program(ctx):
+            yield ctx.compute(1.0)
+
+        world.spawn(program)
+        world.kill_rank(1)
+        assert deaths == [1]
+
+    def test_send_to_dead_rank_completes_but_drops(self):
+        env = Environment()
+        world = SimMPI(env, size=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.compute(1.0)
+                yield from ctx.comm.send(b"into-void", dest=1)
+                return "sent"
+            yield ctx.compute(100.0)
+
+        world.spawn(program)
+        world.kill_rank(1)
+        world.run()
+        assert world.result_of(0) == "sent"
+        assert world.counters["p2p_dropped"] >= 1
+
+    def test_dead_rank_cannot_send(self):
+        world = SimMPI(Environment(), size=2)
+
+        def program(ctx):
+            yield ctx.compute(1.0)
+
+        world.spawn(program)
+        world.kill_rank(0)
+        with pytest.raises(MPIError):
+            world.post_send(src=0, dst=1, tag=0, payload=b"", cid=0)
+
+    def test_message_in_flight_to_dying_rank_dropped(self):
+        env = Environment()
+        world = SimMPI(env, size=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(b"x", dest=1)
+                return "done"
+            yield ctx.compute(100.0)
+
+        world.spawn(program)
+
+        def killer(env):
+            # Kill after injection starts but likely before delivery.
+            yield env.timeout(1e-9)
+            world.kill_rank(1)
+
+        env.process(killer(env))
+        world.run()
+        assert world.result_of(0) == "done"
+
+
+class TestAccounting:
+    def test_message_and_byte_counters(self):
+        world = SimMPI(Environment(), size=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(b"x" * 100, dest=1)
+            else:
+                yield from ctx.comm.recv(source=0)
+
+        world.spawn(program)
+        world.run()
+        assert world.counters["p2p_messages"] == 1
+        assert world.counters["p2p_bytes"] >= 100
+
+    def test_channels_quiet_after_completion(self):
+        world = SimMPI(Environment(), size=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(b"q", dest=1)
+            else:
+                yield from ctx.comm.recv(source=0)
+
+        world.spawn(program)
+        world.run()
+        assert world.channels_quiet()
+
+    def test_channels_quiet_excludes_dead_destinations(self):
+        env = Environment()
+        world = SimMPI(env, size=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.compute(1.0)
+                yield from ctx.comm.send(b"void", dest=1)
+            else:
+                yield ctx.compute(100.0)
+
+        world.spawn(program)
+        world.kill_rank(1)
+        world.run()
+        assert world.channels_quiet()
+
+
+class TestSubCommunicators:
+    def test_create_comm_isolated_traffic(self):
+        env = Environment()
+        world = SimMPI(env, size=4)
+        sub = world.create_comm([1, 3])
+        out = {}
+
+        def program(ctx):
+            if ctx.rank in (1, 3):
+                comm = sub[ctx.rank]
+                from repro.mpi import ops
+
+                total = yield from comm.allreduce(comm.rank, ops.SUM)
+                out[ctx.rank] = (comm.rank, comm.size, total)
+            else:
+                yield ctx.compute(0.0)
+
+        world.spawn(program)
+        world.run()
+        assert out[1] == (0, 2, 1)
+        assert out[3] == (1, 2, 1)
+
+    def test_duplicate_group_rejected(self):
+        world = SimMPI(Environment(), size=3)
+        from repro.errors import CommunicatorError
+
+        with pytest.raises(CommunicatorError):
+            world.create_comm([1, 1])
+
+    def test_local_global_translation(self):
+        world = SimMPI(Environment(), size=4)
+        sub = world.create_comm([2, 0])
+        comm = sub[2]
+        assert comm.global_rank(0) == 2
+        assert comm.local_rank_of(0) == 1

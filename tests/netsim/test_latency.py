@@ -1,0 +1,74 @@
+"""Tests for the alpha-beta transfer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim import AlphaBetaModel
+
+
+class TestTransferTime:
+    def test_zero_bytes_costs_latency(self):
+        model = AlphaBetaModel(latency=1e-6, bandwidth=1e9)
+        assert model.transfer_time(0) == pytest.approx(1e-6)
+
+    def test_bandwidth_term(self):
+        model = AlphaBetaModel(latency=0.0, bandwidth=1e9)
+        assert model.transfer_time(10**9) == pytest.approx(1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaModel().transfer_time(-1)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_monotone_in_size(self, nbytes):
+        model = AlphaBetaModel()
+        assert model.transfer_time(nbytes + 1) >= model.transfer_time(nbytes)
+
+
+class TestSenderTime:
+    def test_eager_includes_cpu_overhead(self):
+        model = AlphaBetaModel(latency=1e-6, bandwidth=1e9, cpu_overhead=2e-6)
+        assert model.sender_time(1000) == pytest.approx(2e-6 + 1000 / 1e9)
+
+    def test_rendezvous_adds_round_trip(self):
+        model = AlphaBetaModel(
+            latency=1e-6, bandwidth=1e9, eager_threshold=100, cpu_overhead=0.0
+        )
+        eager = model.sender_time(100)
+        rendezvous = model.sender_time(101)
+        assert rendezvous - eager == pytest.approx(2e-6, rel=0.05)
+
+    def test_message_count_amplification_is_linear(self):
+        # The Eq. 1 mechanism: r sends cost r times one send.
+        model = AlphaBetaModel()
+        assert 3 * model.sender_time(4096) == pytest.approx(
+            model.sender_time(4096) * 3
+        )
+
+
+class TestValidation:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaModel(latency=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaModel(bandwidth=0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaModel(cpu_overhead=-1e-9)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaModel(eager_threshold=-1)
+
+
+class TestScaled:
+    def test_scaling_factors(self):
+        base = AlphaBetaModel(latency=2e-6, bandwidth=1e9)
+        derived = base.scaled(latency_factor=0.5, bandwidth_factor=2.0)
+        assert derived.latency == pytest.approx(1e-6)
+        assert derived.bandwidth == pytest.approx(2e9)
+        assert derived.cpu_overhead == base.cpu_overhead

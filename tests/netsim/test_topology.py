@@ -1,0 +1,82 @@
+"""Tests for topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim import FlatTopology, TwoLevelTopology
+from repro.netsim.topology import TorusTopology
+
+
+class TestFlat:
+    def test_loopback(self):
+        assert FlatTopology(loopback=0.25).distance(3, 3) == 0.25
+
+    def test_one_hop_everywhere(self):
+        topology = FlatTopology()
+        assert topology.distance(0, 99) == 1.0
+
+    def test_rejects_negative_loopback(self):
+        with pytest.raises(ConfigurationError):
+            FlatTopology(loopback=-1.0)
+
+
+class TestTwoLevel:
+    def test_same_switch_one_hop(self):
+        topology = TwoLevelTopology(nodes_per_switch=4)
+        assert topology.distance(0, 3) == 1.0
+
+    def test_cross_switch_spine_hops(self):
+        topology = TwoLevelTopology(nodes_per_switch=4, spine_hops=3.0)
+        assert topology.distance(0, 4) == 3.0
+
+    def test_loopback(self):
+        assert TwoLevelTopology().distance(5, 5) == 0.1
+
+    def test_switch_of(self):
+        topology = TwoLevelTopology(nodes_per_switch=18)
+        assert topology.switch_of(17) == 0
+        assert topology.switch_of(18) == 1
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelTopology().switch_of(-1)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_symmetry(self, a, b):
+        topology = TwoLevelTopology(nodes_per_switch=7)
+        assert topology.distance(a, b) == topology.distance(b, a)
+
+
+class TestTorus:
+    def test_neighbors_one_hop(self):
+        torus = TorusTopology(side=4)
+        assert torus.distance(0, 1) == 1.0
+        assert torus.distance(0, 4) == 1.0  # vertical neighbour
+
+    def test_wraparound(self):
+        torus = TorusTopology(side=4)
+        assert torus.distance(0, 3) == 1.0  # wraps horizontally
+
+    def test_diagonal_is_manhattan(self):
+        torus = TorusTopology(side=8)
+        assert torus.distance(0, 9) == 2.0  # (1, 1) away
+
+    def test_coordinates(self):
+        torus = TorusTopology(side=4)
+        assert torus.coordinates(5) == (1, 1)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_symmetry(self, a, b):
+        torus = TorusTopology(side=8)
+        assert torus.distance(a, b) == torus.distance(b, a)
+
+    def test_rejects_tiny_side(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology(side=1)

@@ -1,0 +1,251 @@
+"""Tests for ResilientJob: the full fault-tolerance stack."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orchestration import JobConfig, ResilientJob
+from repro.workloads import ConjugateGradientWorkload, SyntheticWorkload
+
+
+def synthetic_config(**overrides):
+    params = dict(
+        workload_factory=lambda: SyntheticWorkload(
+            total_steps=40, compute_seconds=0.02, message_bytes=2048
+        ),
+        virtual_processes=4,
+        checkpointing=False,
+    )
+    params.update(overrides)
+    return JobConfig(**params)
+
+
+class TestFailureFree:
+    def test_completes_without_faults(self):
+        report = ResilientJob(synthetic_config()).run()
+        assert report.completed
+        assert report.attempts == 1
+        assert report.failures_injected == 0
+        assert report.rollbacks == 0
+        assert report.result["iterations"] == 40
+
+    def test_redundancy_overhead_monotone(self):
+        times = {
+            r: ResilientJob(synthetic_config(redundancy=r)).run().total_time
+            for r in (1.0, 2.0, 3.0)
+        }
+        assert times[1.0] < times[2.0] < times[3.0]
+
+    def test_redundancy_preserves_answer(self):
+        plain = ResilientJob(synthetic_config(redundancy=1.0)).run()
+        redundant = ResilientJob(synthetic_config(redundancy=2.5)).run()
+        assert plain.result == redundant.result
+
+    def test_physical_process_count(self):
+        report = ResilientJob(synthetic_config(redundancy=2.5)).run()
+        assert report.physical_processes == 10
+
+    def test_report_minutes(self):
+        report = ResilientJob(synthetic_config()).run()
+        assert report.total_minutes == pytest.approx(report.total_time / 60.0)
+
+
+class TestCheckpointingAndFaults:
+    def fault_config(self, **overrides):
+        params = dict(
+            workload_factory=lambda: SyntheticWorkload(
+                total_steps=60, compute_seconds=0.05, message_bytes=2048
+            ),
+            virtual_processes=4,
+            node_mtbf=8.0,
+            checkpoint_interval=0.4,
+            checkpoint_cost=0.04,
+            restart_cost=0.2,
+            seed=3,
+        )
+        params.update(overrides)
+        return JobConfig(**params)
+
+    def test_completes_under_failures(self):
+        report = ResilientJob(self.fault_config()).run()
+        assert report.completed
+        assert report.failures_injected > 0
+        assert report.result["iterations"] == 60
+
+    def test_result_identical_to_failure_free(self):
+        faulty = ResilientJob(self.fault_config()).run()
+        clean = ResilientJob(synthetic_config(
+            workload_factory=self.fault_config().workload_factory
+        )).run()
+        assert faulty.result == clean.result
+
+    def test_rollbacks_counted_for_unreplicated(self):
+        report = ResilientJob(self.fault_config(redundancy=1.0)).run()
+        # r=1: every injected failure that lands mid-attempt kills the job.
+        assert report.rollbacks > 0
+        assert report.attempts == report.rollbacks + 1
+
+    def test_redundancy_reduces_rollbacks(self):
+        plain = ResilientJob(self.fault_config(redundancy=1.0)).run()
+        dual = ResilientJob(self.fault_config(redundancy=2.0)).run()
+        assert dual.rollbacks < plain.rollbacks
+
+    def test_checkpoints_committed(self):
+        report = ResilientJob(self.fault_config()).run()
+        assert report.checkpoints_committed > 0
+        assert report.time_in_checkpoints > 0
+
+    def test_deterministic_given_seed(self):
+        first = ResilientJob(self.fault_config(seed=9)).run()
+        second = ResilientJob(self.fault_config(seed=9)).run()
+        assert first.total_time == second.total_time
+        assert first.failures_injected == second.failures_injected
+
+    def test_seed_changes_failure_trace(self):
+        first = ResilientJob(self.fault_config(seed=1)).run()
+        second = ResilientJob(self.fault_config(seed=2)).run()
+        assert (
+            first.total_time != second.total_time
+            or first.failures_injected != second.failures_injected
+        )
+
+    def test_max_restarts_bounds_attempts(self):
+        report = ResilientJob(
+            self.fault_config(node_mtbf=0.3, max_restarts=3)
+        ).run()
+        if not report.completed:
+            assert report.attempts == 4
+
+    def test_derived_daly_interval(self):
+        config = self.fault_config(
+            checkpoint_interval=None,
+            expected_base_time=3.0,
+            alpha_estimate=0.2,
+        )
+        report = ResilientJob(config).run()
+        assert report.checkpoint_interval is not None
+        assert report.checkpoint_interval > 0
+
+    def test_cg_recovers_bit_exact_numerics(self):
+        def factory():
+            return ConjugateGradientWorkload(
+                grid=8, total_steps=30, cycle_length=25, flops_per_second=2e4
+            )
+
+        faulty = ResilientJob(
+            JobConfig(
+                workload_factory=factory,
+                virtual_processes=4,
+                redundancy=1.5,
+                node_mtbf=20.0,
+                checkpoint_interval=1.0,
+                checkpoint_cost=0.05,
+                restart_cost=0.2,
+                seed=5,
+            )
+        ).run()
+        clean = ResilientJob(
+            JobConfig(
+                workload_factory=factory, virtual_processes=4, checkpointing=False
+            )
+        ).run()
+        assert faulty.completed
+        assert faulty.result["checksum"] == pytest.approx(
+            clean.result["checksum"], abs=1e-12
+        )
+
+
+class TestTimeline:
+    def fault_config(self, **overrides):
+        params = dict(
+            workload_factory=lambda: SyntheticWorkload(
+                total_steps=50, compute_seconds=0.05, message_bytes=2048
+            ),
+            virtual_processes=4,
+            node_mtbf=6.0,
+            checkpoint_interval=0.4,
+            checkpoint_cost=0.04,
+            restart_cost=0.2,
+            seed=3,
+        )
+        params.update(overrides)
+        return JobConfig(**params)
+
+    def test_timeline_is_time_ordered(self):
+        report = ResilientJob(self.fault_config()).run()
+        times = [event.time for event in report.timeline]
+        assert times == sorted(times)
+
+    def test_timeline_event_counts_match_report(self):
+        report = ResilientJob(self.fault_config()).run()
+        kinds = [event.kind for event in report.timeline]
+        assert kinds.count("failure") == report.failures_injected
+        assert kinds.count("rollback") == report.rollbacks
+        assert kinds.count("checkpoint_commit") == report.checkpoints_committed
+        assert kinds.count("attempt_start") == report.attempts
+        assert kinds.count("completed") == (1 if report.completed else 0)
+
+    def test_rollback_follows_failure(self):
+        report = ResilientJob(self.fault_config(redundancy=1.0)).run()
+        kinds = [event.kind for event in report.timeline]
+        if "rollback" in kinds:
+            first_rollback = kinds.index("rollback")
+            assert "failure" in kinds[:first_rollback]
+
+    def test_failure_free_timeline_minimal(self):
+        report = ResilientJob(
+            self.fault_config(node_mtbf=None, checkpointing=False,
+                              checkpoint_interval=None)
+        ).run()
+        kinds = {event.kind for event in report.timeline}
+        assert kinds == {"attempt_start", "completed"}
+
+
+class TestConfigValidation:
+    def test_bad_processes(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_config(virtual_processes=0)
+
+    def test_bad_redundancy(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_config(redundancy=0.5)
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_config(mode="psychic")
+
+    def test_bad_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_config(node_mtbf=0.0)
+
+    def test_daly_needs_estimates(self):
+        config = synthetic_config(checkpointing=True, node_mtbf=10.0)
+        with pytest.raises(ConfigurationError):
+            config.resolve_interval()
+
+    def test_no_checkpointing_no_interval(self):
+        assert synthetic_config().resolve_interval() is None
+
+    def test_bad_failure_distribution(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_config(failure_distribution="uniform")
+
+
+class TestFailureDistributions:
+    @pytest.mark.parametrize("distribution", ["exponential", "weibull", "lognormal"])
+    def test_runs_complete_under_any_distribution(self, distribution):
+        config = JobConfig(
+            workload_factory=lambda: SyntheticWorkload(
+                total_steps=40, compute_seconds=0.03, message_bytes=2048
+            ),
+            virtual_processes=4,
+            redundancy=2.0,
+            node_mtbf=5.0,
+            checkpoint_interval=0.3,
+            checkpoint_cost=0.03,
+            restart_cost=0.15,
+            failure_distribution=distribution,
+            seed=17,
+        )
+        report = ResilientJob(config).run()
+        assert report.completed
+        assert report.result["iterations"] == 40

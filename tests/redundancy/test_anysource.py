@@ -1,0 +1,132 @@
+"""Focused tests for the ANY_SOURCE envelope-forwarding protocol."""
+
+import pytest
+
+from repro.errors import RedundancyError
+from repro.mpi import ANY_SOURCE, SimMPI
+from repro.redundancy import RedComm, ReplicaMap, SphereTracker
+from repro.redundancy.anysource import CONTROL_TAG_BASE, anysource_recv
+from repro.simkit import Environment
+
+
+def run_world(n, r, body, kill_plan=()):
+    env = Environment()
+    rmap = ReplicaMap(n, r)
+    tracker = SphereTracker(rmap)
+    world = SimMPI(env, size=rmap.total_physical)
+    results = {}
+
+    def program(ctx):
+        red = RedComm(ctx, rmap, tracker)
+        value = yield from body(red)
+        results[ctx.rank] = value
+        return value
+
+    world.spawn(program)
+    for delay, rank in kill_plan:
+        def killer(env, delay=delay, rank=rank):
+            yield env.timeout(delay)
+            world.kill_rank(rank)
+
+        env.process(killer(env))
+    world.run()
+    return world, rmap, tracker, results
+
+
+class TestProtocol:
+    def test_payload_and_virtual_source(self):
+        def body(red):
+            if red.rank == 0:
+                payload, status = yield from red.recv(source=ANY_SOURCE, tag=3)
+                return payload, status.source
+            if red.rank == 2:
+                yield from red.send("from-two", 0, tag=3)
+            return None
+
+        _, rmap, _, results = run_world(3, 2.0, body)
+        for physical in rmap.replicas_of(0):
+            assert results[physical] == ("from-two", 2)
+
+    def test_interleaved_wildcards_and_specific_recvs(self):
+        def body(red):
+            if red.rank == 0:
+                wild, wild_status = yield from red.recv(source=ANY_SOURCE, tag=1)
+                specific, _ = yield from red.recv(source=1, tag=2)
+                return wild_status.source, specific
+            if red.rank == 1:
+                yield from red.send("wild", 0, tag=1)
+                yield from red.send("specific", 0, tag=2)
+            return None
+
+        _, rmap, _, results = run_world(2, 2.0, body)
+        for physical in rmap.replicas_of(0):
+            assert results[physical] == (1, "specific")
+
+    def test_sequential_wildcards_consume_distinct_messages(self):
+        def body(red):
+            if red.rank == 0:
+                sources = []
+                for _ in range(red.size - 1):
+                    _, status = yield from red.recv(source=ANY_SOURCE, tag=5)
+                    sources.append(status.source)
+                return sorted(sources)
+            yield from red.send(red.rank, 0, tag=5)
+            return None
+
+        _, rmap, _, results = run_world(4, 2.0, body)
+        for physical in rmap.replicas_of(0):
+            assert results[physical] == [1, 2, 3]
+
+    def test_works_from_unreplicated_receiver(self):
+        # Partial redundancy: the receiver has one replica (trivial
+        # protocol), senders have two.
+        def body(red):
+            if red.rank == 1:  # odd rank: unreplicated under 1.5x
+                payload, status = yield from red.recv(source=ANY_SOURCE, tag=4)
+                return payload, status.source
+            if red.rank == 0:
+                yield from red.send("dup", 1, tag=4)
+            return None
+
+        _, rmap, _, results = run_world(4, 1.5, body)
+        assert rmap.replication_of(1) == 1
+        assert results[1] == ("dup", 0)
+
+    def test_lead_failover_before_call(self):
+        # Kill virtual 0's primary *before* the wildcard call: the
+        # shadow becomes the lead and runs the protocol alone.
+        def body(red):
+            if red.rank == 0:
+                yield red.env.timeout(0.01)  # after the kill
+                payload, status = yield from red.recv(source=ANY_SOURCE, tag=6)
+                return payload, status.source
+            if red.rank == 1:
+                yield red.env.timeout(0.02)
+                yield from red.send("late", 0, tag=6)
+            return None
+
+        _, rmap, tracker, results = run_world(
+            2, 2.0, body, kill_plan=[(0.001, 0)]  # primary of virtual 0
+        )
+        shadow = rmap.replicas_of(0)[1]
+        assert results[shadow] == ("late", 1)
+        assert not tracker.job_failed
+
+    def test_tag_range_validation(self):
+        def body(red):
+            with pytest.raises(RedundancyError):
+                yield from anysource_recv(red, CONTROL_TAG_BASE)
+
+        run_world(2, 2.0, body)
+
+    def test_wildcard_counter(self):
+        def body(red):
+            if red.rank == 0:
+                yield from red.recv(source=ANY_SOURCE, tag=7)
+            else:
+                yield from red.send(1, 0, tag=7)
+            return None
+
+        world, rmap, _, _ = run_world(2, 2.0, body)
+        # Each physical replica of virtual 0 counts one wildcard recv.
+        assert world.counters["wildcard_recvs"] == len(rmap.replicas_of(0))

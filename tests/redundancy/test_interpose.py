@@ -1,0 +1,303 @@
+"""Tests for RedComm: transparent replication of p2p and collectives."""
+
+import pytest
+
+from repro.errors import RedundancyError, VotingError
+from repro.mpi import ANY_SOURCE, ANY_TAG, SimMPI, ops
+from repro.redundancy import ALL_TO_ALL, MSG_PLUS_HASH, RedComm, ReplicaMap, SphereTracker
+from repro.simkit import Environment
+
+
+def run_redundant(n, r, program_body, mode=ALL_TO_ALL, corruptor=None, kill_plan=()):
+    """Run ``program_body(red)`` on every physical rank; return world etc."""
+    env = Environment()
+    rmap = ReplicaMap(n, r)
+    tracker = SphereTracker(rmap)
+    world = SimMPI(env, size=rmap.total_physical)
+    results = {}
+
+    def program(ctx):
+        red = RedComm(ctx, rmap, tracker, mode=mode, corruptor=corruptor)
+        value = yield from program_body(red)
+        results[ctx.rank] = value
+        return value
+
+    world.spawn(program)
+    for delay, rank in kill_plan:
+        def killer(env, delay=delay, rank=rank):
+            yield env.timeout(delay)
+            world.kill_rank(rank, cause="test kill")
+
+        env.process(killer(env))
+    world.run()
+    return world, rmap, tracker, results
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("r", [1.0, 1.25, 1.5, 2.0, 2.5, 3.0])
+    def test_allreduce_any_degree(self, r):
+        def body(red):
+            total = yield from red.allreduce(red.rank, ops.SUM)
+            return total
+
+        world, rmap, _, results = run_redundant(4, r, body)
+        assert set(results.values()) == {6}
+        assert len(results) == rmap.total_physical
+
+    @pytest.mark.parametrize("r", [1.0, 2.0, 2.5])
+    def test_ring_p2p(self, r):
+        def body(red):
+            right = (red.rank + 1) % red.size
+            left = (red.rank - 1) % red.size
+            payload, status = yield from red.sendrecv(
+                red.rank, right, source=left, send_tag=4, recv_tag=4
+            )
+            return payload, status.source
+
+        _, _, _, results = run_redundant(5, r, body)
+        for _, (payload, source) in results.items():
+            assert payload == source  # neighbour sent its own rank
+
+    def test_status_reports_virtual_source(self):
+        def body(red):
+            if red.rank == 0:
+                yield from red.send("x", 1, tag=2)
+                return None
+            if red.rank == 1:
+                _, status = yield from red.recv(source=0, tag=2)
+                return status.source
+            return None
+
+        _, rmap, _, results = run_redundant(2, 2.0, body)
+        for physical in rmap.replicas_of(1):
+            assert results[physical] == 0
+
+    def test_virtual_identity(self):
+        def body(red):
+            yield red.env.timeout(0)
+            return red.rank, red.size, red.replica_index
+
+        _, rmap, _, results = run_redundant(3, 2.0, body)
+        for physical, (virtual, size, index) in results.items():
+            assert virtual == rmap.virtual_of(physical)
+            assert size == 3
+            assert index == rmap.replica_index(physical)
+
+    def test_message_amplification_counted(self):
+        def body(red):
+            if red.rank == 0:
+                yield from red.send(b"data", 1, tag=1)
+            elif red.rank == 1:
+                yield from red.recv(source=0, tag=1)
+            return None
+
+        world_1x, *_ = run_redundant(2, 1.0, body)
+        world_2x, *_ = run_redundant(2, 2.0, body)
+        # r=2: each of 2 sender replicas sends to 2 receiver replicas.
+        assert world_2x.counters["p2p_messages"] == 4 * world_1x.counters["p2p_messages"]
+
+    @pytest.mark.parametrize("r", [1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0])
+    def test_physical_message_count_matches_eq1_fanout(self, r):
+        """One virtual message costs |senders| x |receivers| physical
+        messages — the exact mechanism behind Eq. 1's r factor."""
+
+        def body(red):
+            if red.rank == 0:
+                yield from red.send(b"one", 1, tag=1)
+            elif red.rank == 1:
+                yield from red.recv(source=0, tag=1)
+            return None
+
+        world, rmap, _, _ = run_redundant(4, r, body)
+        expected = len(rmap.replicas_of(0)) * len(rmap.replicas_of(1))
+        assert world.counters["p2p_messages"] == expected
+
+
+class TestWildcards:
+    def test_any_source_blocking_recv(self):
+        def body(red):
+            if red.rank == 0:
+                seen = []
+                for _ in range(2):
+                    payload, status = yield from red.recv(source=ANY_SOURCE, tag=7)
+                    assert payload == status.source * 11
+                    seen.append(status.source)
+                return sorted(seen)
+            yield from red.send(red.rank * 11, 0, tag=7)
+            return None
+
+        _, rmap, _, results = run_redundant(3, 2.0, body)
+        for physical in rmap.replicas_of(0):
+            assert results[physical] == [1, 2]
+
+    def test_replicas_agree_on_wildcard_order(self):
+        def body(red):
+            if red.rank == 0:
+                order = []
+                for _ in range(3):
+                    _, status = yield from red.recv(source=ANY_SOURCE, tag=9)
+                    order.append(status.source)
+                return tuple(order)
+            yield red.env.timeout(0.001 * red.rank)
+            yield from red.send(red.rank, 0, tag=9)
+            return None
+
+        _, rmap, _, results = run_redundant(4, 2.0, body)
+        lead, shadow = rmap.replicas_of(0)
+        assert results[lead] == results[shadow]
+
+    def test_any_source_irecv_rejected(self):
+        def body(red):
+            with pytest.raises(RedundancyError):
+                red.irecv(source=ANY_SOURCE, tag=1)
+            yield red.env.timeout(0)
+
+        run_redundant(2, 2.0, body)
+
+    def test_any_tag_rejected(self):
+        def body(red):
+            with pytest.raises(RedundancyError):
+                red.irecv(source=0, tag=ANY_TAG)
+            yield red.env.timeout(0)
+
+        run_redundant(2, 2.0, body)
+
+
+class TestModes:
+    def test_msg_plus_hash_moves_fewer_bytes(self):
+        def body(red):
+            if red.rank == 0:
+                yield from red.send(b"z" * 50_000, 1, tag=1)
+            elif red.rank == 1:
+                yield from red.recv(source=0, tag=1)
+            return None
+
+        world_full, *_ = run_redundant(2, 3.0, body, mode=ALL_TO_ALL)
+        world_hash, *_ = run_redundant(2, 3.0, body, mode=MSG_PLUS_HASH)
+        assert world_hash.counters["p2p_bytes"] < world_full.counters["p2p_bytes"]
+        # Message *count* identical: hashes still travel as messages.
+        assert (
+            world_hash.counters["p2p_messages"]
+            == world_full.counters["p2p_messages"]
+        )
+
+    def test_msg_plus_hash_collectives_correct(self):
+        def body(red):
+            total = yield from red.allreduce(red.rank + 1, ops.SUM)
+            gathered = yield from red.allgather(red.rank)
+            return total, tuple(gathered)
+
+        _, _, _, results = run_redundant(4, 2.0, body, mode=MSG_PLUS_HASH)
+        assert set(results.values()) == {(10, (0, 1, 2, 3))}
+
+    def test_unknown_mode_rejected(self):
+        env = Environment()
+        rmap = ReplicaMap(2, 2.0)
+        tracker = SphereTracker(rmap)
+        world = SimMPI(env, size=rmap.total_physical)
+        captured = {}
+
+        def program(ctx):
+            captured["ctx"] = ctx
+            yield ctx.env.timeout(0)
+
+        world.spawn(program)
+        world.run()
+        with pytest.raises(RedundancyError):
+            RedComm(captured["ctx"], rmap, tracker, mode="quantum")
+
+
+class TestVotingIntegration:
+    def test_corrupt_replica_voted_out_r3(self):
+        rmap = ReplicaMap(2, 3.0)
+        bad = rmap.replicas_of(0)[1]
+
+        def corruptor(sender, receiver, payload):
+            if sender == bad and isinstance(payload, bytes):
+                return payload + b"!"
+            return payload
+
+        def body(red):
+            if red.rank == 0:
+                yield from red.send(b"payload", 1, tag=3)
+                return None
+            payload, _ = yield from red.recv(source=0, tag=3)
+            return payload
+
+        world, rmap2, _, results = run_redundant(
+            2, 3.0, body, corruptor=corruptor
+        )
+        for physical in rmap2.replicas_of(1):
+            assert results[physical] == b"payload"
+        assert world.counters["corrupt_copies_voted_out"] == 3
+
+    def test_corrupt_detection_r2_raises(self):
+        def corruptor(sender, receiver, payload):
+            if sender >= 2 and isinstance(payload, bytes):  # the shadows
+                return payload + b"!"
+            return payload
+
+        def body(red):
+            if red.rank == 0:
+                yield from red.send(b"v", 1, tag=3)
+                return None
+            try:
+                yield from red.recv(source=0, tag=3)
+                return "undetected"
+            except VotingError:
+                return "detected"
+
+        _, rmap, _, results = run_redundant(2, 2.0, body, corruptor=corruptor)
+        for physical in rmap.replicas_of(1):
+            assert results[physical] == "detected"
+
+
+class TestReplicaDeath:
+    def test_survivors_finish_long_collective_loop(self):
+        def body(red):
+            acc = 0
+            for iteration in range(100):
+                acc += yield from red.allreduce(red.rank + iteration, ops.SUM)
+            return acc
+
+        _, rmap, tracker, results = run_redundant(
+            4, 2.0, body, kill_plan=[(0.0004, 6)]
+        )
+        assert not tracker.job_failed
+        values = set(results.values())
+        assert len(values) == 1  # every survivor computed the same sums
+        assert len(results) == rmap.total_physical - 1
+
+    def test_pending_recv_from_dead_replica_cancelled(self):
+        def body(red):
+            if red.rank == 1:
+                payload, _ = yield from red.recv(source=0, tag=5)
+                return payload
+            if red.rank == 0:
+                yield red.env.timeout(0.01)  # outlive the kill
+                yield from red.send("late", 1, tag=5)
+            return None
+
+        _, rmap, _, results = run_redundant(
+            2, 2.0, body, kill_plan=[(0.001, 2)]  # virtual 0's shadow
+        )
+        # Virtual 0's shadow (physical 2) died before sending; receivers
+        # still complete from the surviving replica's copy.
+        for physical in rmap.replicas_of(1):
+            assert results[physical] == "late"
+
+    def test_send_to_partially_dead_sphere(self):
+        def body(red):
+            if red.rank == 0:
+                yield red.env.timeout(0.01)
+                yield from red.send("ping", 1, tag=6)
+                return None
+            payload, _ = yield from red.recv(source=0, tag=6)
+            return payload
+
+        _, rmap, tracker, results = run_redundant(
+            2, 2.0, body, kill_plan=[(0.001, 3)]  # virtual 1's shadow
+        )
+        survivor = rmap.replicas_of(1)[0]
+        assert results[survivor] == "ping"
+        assert not tracker.job_failed

@@ -1,0 +1,114 @@
+"""Tests for replica-copy voting and copy planning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VotingError
+from repro.redundancy import ALL_TO_ALL, MSG_PLUS_HASH, vote
+from repro.redundancy.voting import ReplicaCopy, plan_copies
+from repro.mpi.datatypes import payload_digest
+
+
+def full(sender, payload):
+    return ReplicaCopy.full(sender, payload)
+
+
+def hash_copy(sender, payload):
+    return ReplicaCopy.hash_only(sender, payload_digest(payload))
+
+
+class TestVote:
+    def test_single_copy(self):
+        result = vote([full(0, "data")])
+        assert result.payload == "data"
+        assert result.unanimous
+        assert result.corrupt_senders == ()
+
+    def test_unanimous_pair(self):
+        result = vote([full(0, 42), full(3, 42)])
+        assert result.payload == 42 and result.unanimous
+
+    def test_majority_corrects_corrupt_copy(self):
+        result = vote([full(0, "good"), full(1, "good"), full(2, "BAD")])
+        assert result.payload == "good"
+        assert not result.unanimous
+        assert result.corrupt_senders == (2,)
+
+    def test_two_way_disagreement_undecidable(self):
+        with pytest.raises(VotingError):
+            vote([full(0, "a"), full(1, "b")])
+
+    def test_no_copies(self):
+        with pytest.raises(VotingError):
+            vote([])
+
+    def test_hash_copies_count_toward_majority(self):
+        copies = [full(0, "x"), hash_copy(1, "x"), hash_copy(2, "x")]
+        result = vote(copies)
+        assert result.payload == "x" and result.unanimous
+
+    def test_hash_majority_without_payload_carrier(self):
+        # Corrupt payload carrier + r=2: detectable, not correctable.
+        copies = [full(0, "CORRUPT"), hash_copy(1, "good")]
+        with pytest.raises(VotingError):
+            vote(copies)
+
+    def test_hash_majority_with_three_copies_corrects(self):
+        # Carrier corrupt but a second full copy carries the majority value.
+        copies = [full(0, "CORRUPT"), full(1, "good"), hash_copy(2, "good")]
+        result = vote(copies)
+        assert result.payload == "good"
+        assert result.corrupt_senders == (0,)
+
+    @given(st.integers(min_value=1, max_value=7))
+    def test_identical_copies_always_unanimous(self, count):
+        result = vote([full(i, b"same") for i in range(count)])
+        assert result.unanimous and result.payload == b"same"
+
+    def test_three_way_tie_rejected(self):
+        with pytest.raises(VotingError):
+            vote([full(0, "a"), full(1, "b"), full(2, "c")])
+
+
+class TestPlanCopies:
+    def test_all_to_all_everything_full(self):
+        plan = plan_copies([0, 4], [1, 5], ALL_TO_ALL)
+        assert set(plan.values()) == {"full"}
+        assert len(plan) == 4
+
+    def test_msg_plus_hash_one_carrier_per_receiver(self):
+        senders = [0, 4, 8]
+        receivers = [1, 5, 9]
+        plan = plan_copies(senders, receivers, MSG_PLUS_HASH)
+        for receiver in receivers:
+            kinds = [plan[(s, receiver)] for s in senders]
+            assert kinds.count("full") == 1
+            assert kinds.count("hash") == len(senders) - 1
+
+    def test_msg_plus_hash_unequal_spheres(self):
+        plan = plan_copies([0], [1, 5], MSG_PLUS_HASH)
+        # A single sender carries the payload for both receivers.
+        assert plan[(0, 1)] == "full" and plan[(0, 5)] == "full"
+
+    def test_partial_spheres(self):
+        plan = plan_copies([0, 4], [1], MSG_PLUS_HASH)
+        kinds = [plan[(0, 1)], plan[(4, 1)]]
+        assert kinds.count("full") == 1 and kinds.count("hash") == 1
+
+    def test_empty_senders_empty_plan(self):
+        assert plan_copies([], [1, 2], ALL_TO_ALL) == {}
+
+    def test_unknown_mode(self):
+        with pytest.raises(VotingError):
+            plan_copies([0], [1], "telepathy")
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([ALL_TO_ALL, MSG_PLUS_HASH]),
+    )
+    def test_plan_covers_all_pairs(self, senders, receivers, mode):
+        sender_list = list(range(senders))
+        receiver_list = list(range(100, 100 + receivers))
+        plan = plan_copies(sender_list, receiver_list, mode)
+        assert set(plan) == {(s, r) for s in sender_list for r in receiver_list}

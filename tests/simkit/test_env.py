@@ -1,0 +1,95 @@
+"""Tests for the simulation environment / scheduler."""
+
+import pytest
+
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.simkit import Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_run_to_horizon_advances_clock(self, env):
+        env.run(until=7.0)
+        assert env.now == 7.0
+
+    def test_cannot_run_to_past(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+
+class TestScheduling:
+    def test_fifo_for_simultaneous_events(self, env):
+        order = []
+        for tag in ("first", "second", "third"):
+            event = env.timeout(1.0, value=tag)
+            event.add_callback(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_step_processes_single_event(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.step()
+        assert env.now == 1.0
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(SimulationDeadlock):
+            env.step()
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+
+    def test_negative_delay_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env._schedule(event, delay=-1.0)
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        target = env.timeout(2.0, value=99)
+        assert env.run(until=target) == 99
+
+    def test_raises_event_failure(self, env):
+        target = env.event().fail(ValueError("bad"))
+        with pytest.raises(ValueError):
+            env.run(until=target)
+
+    def test_deadlock_detected(self, env):
+        pending = env.event()  # never triggered
+        with pytest.raises(SimulationDeadlock):
+            env.run(until=pending)
+
+    def test_events_after_target_stay_queued(self, env):
+        target = env.timeout(1.0)
+        later = env.timeout(10.0)
+        env.run(until=target)
+        assert env.now == 1.0
+        assert not later.processed
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def trace():
+            env = Environment()
+            log = []
+
+            def worker(env, name):
+                for _ in range(3):
+                    yield env.timeout(1.0)
+                    log.append((env.now, name))
+
+            for name in ("a", "b", "c"):
+                env.process(worker(env, name))
+            env.run()
+            return log
+
+        assert trace() == trace()

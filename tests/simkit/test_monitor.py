@@ -1,0 +1,54 @@
+"""Tests for monitors and counters."""
+
+from repro.simkit import Counter, Environment, Monitor
+
+
+class TestMonitor:
+    def test_records_with_timestamp(self, env):
+        monitor = Monitor(env, "queue")
+        env.run(until=2.0)
+        monitor.record(5)
+        assert monitor.samples == [(2.0, 5.0)]
+
+    def test_values_and_mean(self, env):
+        monitor = Monitor(env)
+        for value in (1, 2, 3):
+            monitor.record(value)
+        assert monitor.values == [1.0, 2.0, 3.0]
+        assert monitor.mean() == 2.0
+        assert monitor.total() == 6.0
+
+    def test_empty_mean_is_zero(self, env):
+        assert Monitor(env).mean() == 0.0
+
+    def test_len(self, env):
+        monitor = Monitor(env)
+        monitor.record(1)
+        assert len(monitor) == 1
+
+
+class TestCounter:
+    def test_default_zero(self):
+        assert Counter()["missing"] == 0.0
+
+    def test_add(self):
+        counter = Counter()
+        counter.add("messages")
+        counter.add("messages", 2)
+        assert counter["messages"] == 3.0
+
+    def test_as_dict_snapshot(self):
+        counter = Counter()
+        counter.add("x", 1.5)
+        snapshot = counter.as_dict()
+        counter.add("x")
+        assert snapshot == {"x": 1.5}
+
+    def test_merge(self):
+        a = Counter()
+        a.add("x", 1)
+        b = Counter()
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3.0 and a["y"] == 3.0

@@ -1,0 +1,120 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Environment, Resource, Store
+
+
+class TestResource:
+    def test_grant_when_free(self, env, run_process):
+        resource = Resource(env, capacity=1)
+
+        def body(env):
+            yield resource.request()
+            return resource.in_use
+
+        assert run_process(env, body(env)) == 1
+
+    def test_fifo_queuing(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name, hold):
+            yield resource.request()
+            order.append((env.now, name, "in"))
+            yield env.timeout(hold)
+            resource.release()
+
+        env.process(user(env, "a", 2.0))
+        env.process(user(env, "b", 1.0))
+        env.process(user(env, "c", 1.0))
+        env.run()
+        assert order == [(0.0, "a", "in"), (2.0, "b", "in"), (3.0, "c", "in")]
+
+    def test_capacity_two_runs_two_concurrently(self, env):
+        resource = Resource(env, capacity=2)
+        entries = []
+
+        def user(env, name):
+            yield resource.request()
+            entries.append((env.now, name))
+            yield env.timeout(1.0)
+            resource.release()
+
+        for name in "abc":
+            env.process(user(env, name))
+        env.run()
+        assert entries == [(0.0, "a"), (0.0, "b"), (1.0, "c")]
+
+    def test_release_without_request_raises(self, env):
+        resource = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queued_count(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        resource.request()
+        assert resource.queued == 1
+
+    def test_rejects_zero_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, env, run_process):
+        store = Store(env)
+        store.put("item")
+
+        def body(env):
+            value = yield store.get()
+            return value
+
+        assert run_process(env, body(env)) == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer(env):
+            value = yield store.get()
+            received.append((env.now, value))
+
+        def producer(env):
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert received == [(3.0, "late")]
+
+    def test_fifo_order(self, env, run_process):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+
+        def body(env):
+            out = []
+            for _ in range(3):
+                out.append((yield store.get()))
+            return out
+
+        assert run_process(env, body(env)) == [1, 2, 3]
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2
+
+    def test_cancel_get(self, env):
+        store = Store(env)
+        fetch = store.get()
+        store.cancel_get(fetch)
+        store.put("ignored-by-cancelled")
+        env.run()
+        assert not fetch.triggered
+        assert len(store) == 1

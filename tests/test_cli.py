@@ -1,0 +1,95 @@
+"""Tests for the repro-exp command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_overrides, _parse_value, main
+from repro.errors import ReproError
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42),
+            ("2.5", 2.5),
+            ("true", True),
+            ("False", False),
+            ("(1.0, 2.0)", (1.0, 2.0)),
+            ("hello", "hello"),
+        ],
+    )
+    def test_parse_value(self, text, expected):
+        assert _parse_value(text) == expected
+
+    def test_parse_overrides(self):
+        assert _parse_overrides(["a=1", "b=x y"]) == {"a": 1, "b": "x y"}
+
+    def test_bad_override(self):
+        with pytest.raises(ReproError):
+            _parse_overrides(["not-a-pair"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table4" in output and "fig13" in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "ASCI Q" in output
+
+    def test_run_with_override(self, capsys):
+        code = main(["run", "table2", "node_counts=(100, 1000)"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "100" in output
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "tableX"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_override_reports_error(self, capsys):
+        assert main(["run", "table1", "oops"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_recommends_dual_at_scale(self, capsys):
+        code = main([
+            "advise", "--processes", "80000", "--mtbf", "5y",
+            "--base-time", "128h",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "run this" in output
+        assert "2.0x redundancy" in output
+        assert "why:" in output
+
+    def test_budget_constrained(self, capsys):
+        code = main([
+            "advise", "--processes", "80000", "--mtbf", "5y",
+            "--base-time", "128h", "--node-budget", "100000",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "1.25x redundancy" in output or "1.0x redundancy" in output
+
+    def test_bad_budget_errors(self, capsys):
+        code = main([
+            "advise", "--processes", "80000", "--mtbf", "5y",
+            "--base-time", "128h", "--node-budget", "10",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_duration_parsing_errors(self, capsys):
+        code = main([
+            "advise", "--processes", "100", "--mtbf", "whenever",
+            "--base-time", "128h",
+        ])
+        assert code == 2

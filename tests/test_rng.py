@@ -1,0 +1,85 @@
+"""Tests for the named deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rng import StreamRegistry, exponential_interarrivals
+
+
+class TestStreamRegistry:
+    def test_same_name_same_object(self):
+        registry = StreamRegistry(seed=1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_reproducible_across_registries(self):
+        first = StreamRegistry(seed=9).stream("faults").random(8)
+        second = StreamRegistry(seed=9).stream("faults").random(8)
+        assert np.array_equal(first, second)
+
+    def test_streams_independent_of_draw_order(self):
+        registry_a = StreamRegistry(seed=5)
+        registry_a.stream("x").random(100)  # consume from another stream
+        value_a = registry_a.stream("y").random()
+        registry_b = StreamRegistry(seed=5)
+        value_b = registry_b.stream("y").random()
+        assert value_a == value_b
+
+    def test_different_names_differ(self):
+        registry = StreamRegistry(seed=3)
+        assert registry.stream("a").random() != registry.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        a = StreamRegistry(seed=1).stream("s").random()
+        b = StreamRegistry(seed=2).stream("s").random()
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        one = StreamRegistry(seed=4).fork("child").stream("z").random()
+        two = StreamRegistry(seed=4).fork("child").stream("z").random()
+        assert one == two
+
+    def test_fork_differs_from_parent(self):
+        parent = StreamRegistry(seed=4)
+        child = parent.fork("child")
+        assert parent.stream("z").random() != child.stream("z").random()
+
+    def test_names_lists_created_streams(self):
+        registry = StreamRegistry(seed=0)
+        registry.stream("b")
+        registry.stream("a")
+        assert list(registry.names()) == ["a", "b"]
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ConfigurationError):
+            StreamRegistry(seed="nope")
+
+    def test_seed_property(self):
+        assert StreamRegistry(seed=11).seed == 11
+
+
+class TestExponentialInterarrivals:
+    def test_mean_is_respected(self):
+        rng = StreamRegistry(seed=2).stream("t")
+        draws = exponential_interarrivals(rng, mean=10.0, count=20000)
+        assert draws.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_all_positive(self):
+        rng = StreamRegistry(seed=2).stream("t")
+        assert (exponential_interarrivals(rng, 1.0, 1000) > 0).all()
+
+    def test_count_zero(self):
+        rng = StreamRegistry(seed=2).stream("t")
+        assert len(exponential_interarrivals(rng, 1.0, 0)) == 0
+
+    @given(st.floats(max_value=0, allow_nan=False))
+    def test_rejects_nonpositive_mean(self, mean):
+        rng = StreamRegistry(seed=2).stream("t")
+        with pytest.raises(ConfigurationError):
+            exponential_interarrivals(rng, mean, 1)
+
+    def test_rejects_negative_count(self):
+        rng = StreamRegistry(seed=2).stream("t")
+        with pytest.raises(ConfigurationError):
+            exponential_interarrivals(rng, 1.0, -1)

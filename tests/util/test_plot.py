@@ -1,0 +1,94 @@
+"""Tests for the ASCII plotter."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.plot import ascii_plot
+
+
+class TestPlot:
+    def test_basic_structure(self):
+        text = ascii_plot({"a": ([0, 1, 2], [0.0, 1.0, 2.0])}, width=20, height=6)
+        lines = text.splitlines()
+        assert any("*" in line for line in lines)
+        assert "*=a" in lines[-1]
+        assert "+--" in text
+
+    def test_title(self):
+        text = ascii_plot({"a": ([0, 1], [0, 1])}, title="My Plot")
+        assert text.splitlines()[0] == "My Plot"
+
+    def test_extremes_on_grid_edges(self):
+        text = ascii_plot({"a": ([0, 10], [5.0, 50.0])}, width=20, height=6)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("50")  # top y label
+        assert "5" in lines[5]  # bottom label row
+
+    def test_two_series_two_glyphs(self):
+        text = ascii_plot(
+            {"up": ([0, 1], [0, 1]), "down": ([0, 1], [1, 0])}, width=16, height=5
+        )
+        assert "*" in text and "o" in text
+        assert "*=up" in text and "o=down" in text
+
+    def test_infinite_values_skipped(self):
+        text = ascii_plot({"a": ([0, 1, 2], [1.0, math.inf, 2.0])})
+        assert "inf" not in text.splitlines()[0]
+
+    def test_log_x(self):
+        text = ascii_plot({"a": ([10, 100, 1000], [1, 2, 3])}, logx=True)
+        assert "10" in text and "1e+03" in text
+
+    def test_flat_series_ok(self):
+        text = ascii_plot({"a": ([0, 1], [5.0, 5.0])})
+        assert "5" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": ([1], [1, 2])})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": ([1], [1])}, width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": ([1], [math.inf])})
+
+
+class TestHeatmap:
+    def test_basic(self):
+        from repro.util.plot import ascii_heatmap
+
+        text = ascii_heatmap([[1, 2], [3, 4]], ["r1", "r2"], ["c1", "c2"])
+        assert "r1" in text and "c2" in text
+        assert "scale:" in text
+
+    def test_extremes_use_ramp_ends(self):
+        from repro.util.plot import HEAT_RAMP, ascii_heatmap
+
+        text = ascii_heatmap([[0.0, 100.0]], ["r"], ["lo", "hi"])
+        assert HEAT_RAMP[-1] in text
+
+    def test_inf_cells_labelled(self):
+        import math
+
+        from repro.util.plot import ascii_heatmap
+
+        text = ascii_heatmap([[1.0, math.inf]], ["r"], ["a", "b"])
+        assert "inf" in text
+
+    def test_validation(self):
+        import math
+
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+        from repro.util.plot import ascii_heatmap
+
+        with _pytest.raises(ConfigurationError):
+            ascii_heatmap([], [], [])
+        with _pytest.raises(ConfigurationError):
+            ascii_heatmap([[1]], ["a", "b"], ["c"])
+        with _pytest.raises(ConfigurationError):
+            ascii_heatmap([[math.inf]], ["a"], ["c"])

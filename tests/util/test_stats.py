@@ -1,0 +1,55 @@
+"""Tests for fit statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util import mean_abs_pct_error, pearson, qq_points
+
+
+class TestQQ:
+    def test_sorted_pairs(self):
+        points = qq_points([3.0, 1.0, 2.0], [30.0, 10.0, 20.0])
+        assert points == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+
+    def test_identical_distributions_on_diagonal(self):
+        data = [5.0, 1.0, 3.0]
+        assert all(a == b for a, b in qq_points(data, list(reversed(data))))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            qq_points([1.0], [1.0, 2.0])
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_noise_reduces_correlation(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100.0)
+        y = x + rng.normal(0, 30, size=100)
+        assert 0.4 < pearson(x, y) < 1.0
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            pearson([1], [2])
+
+
+class TestMAPE:
+    def test_exact_fit_zero(self):
+        assert mean_abs_pct_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_abs_pct_error([10.0, 10.0], [11.0, 9.0]) == pytest.approx(0.1)
+
+    def test_zero_observed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_abs_pct_error([0.0, 1.0], [1.0, 1.0])

@@ -1,0 +1,133 @@
+"""Tests for the master/slave Monte Carlo workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import SimMPI
+from repro.orchestration import JobConfig, ResilientJob
+from repro.simkit import Environment
+from repro.workloads import MonteCarloWorkload, WorkShell
+from repro.workloads.montecarlo import darts_in_circle
+
+
+def run_mc(size, **kwargs):
+    env = Environment()
+    world = SimMPI(env, size=size)
+
+    def program(ctx):
+        workload = MonteCarloWorkload(**kwargs)
+        workload.configure(ctx.rank, ctx.size, np.random.default_rng(0))
+        shell = WorkShell(ctx, ctx.comm)
+        for step in range(workload.total_steps):
+            yield from workload.step(shell, step)
+        result = yield from workload.finalize(shell)
+        return result
+
+    world.spawn(program)
+    world.run()
+    return world
+
+
+class TestDarts:
+    def test_deterministic(self):
+        assert darts_in_circle(3, 1000) == darts_in_circle(3, 1000)
+
+    def test_chunks_differ(self):
+        assert darts_in_circle(1, 5000) != darts_in_circle(2, 5000)
+
+    def test_hit_rate_near_quarter_pi(self):
+        hits = darts_in_circle(0, 100_000)
+        assert hits / 100_000 == pytest.approx(math.pi / 4, abs=0.01)
+
+
+class TestPlainRuns:
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_estimates_pi(self, size):
+        world = run_mc(size, chunks=30, darts_per_chunk=2000)
+        result = world.result_of(0)
+        assert result["pi_estimate"] == pytest.approx(math.pi, abs=0.05)
+        assert result["darts"] == 30 * 2000
+
+    def test_all_ranks_share_estimate(self):
+        world = run_mc(4, chunks=12)
+        estimates = {world.result_of(r)["pi_estimate"] for r in range(4)}
+        assert len(estimates) == 1
+
+    def test_chunks_not_divisible_by_workers(self):
+        world = run_mc(4, chunks=10)  # 3 workers, 10 chunks
+        assert world.result_of(0)["darts"] == 10 * MonteCarloWorkload().darts_per_chunk
+
+    def test_worker_count_does_not_change_answer(self):
+        small = run_mc(2, chunks=20).result_of(0)["pi_estimate"]
+        large = run_mc(5, chunks=20).result_of(0)["pi_estimate"]
+        assert small == pytest.approx(large, abs=1e-12)
+
+
+class TestUnderTheFullStack:
+    def test_redundant_run_matches_plain(self):
+        def factory():
+            return MonteCarloWorkload(chunks=20, darts_per_chunk=1000)
+
+        plain = ResilientJob(
+            JobConfig(workload_factory=factory, virtual_processes=4,
+                      checkpointing=False)
+        ).run()
+        redundant = ResilientJob(
+            JobConfig(workload_factory=factory, virtual_processes=4,
+                      redundancy=2.0, checkpointing=False)
+        ).run()
+        assert plain.result["pi_estimate"] == redundant.result["pi_estimate"]
+
+    def test_survives_failures_with_rollbacks(self):
+        def factory():
+            return MonteCarloWorkload(
+                chunks=24, darts_per_chunk=5000, flops_per_second=2e5
+            )
+
+        clean = ResilientJob(
+            JobConfig(workload_factory=factory, virtual_processes=4,
+                      checkpointing=False)
+        ).run()
+        faulty = ResilientJob(
+            JobConfig(
+                workload_factory=factory,
+                virtual_processes=4,
+                redundancy=1.5,
+                node_mtbf=2.0,
+                checkpoint_interval=0.2,
+                checkpoint_cost=0.02,
+                restart_cost=0.1,
+                seed=23,
+            )
+        ).run()
+        assert faulty.completed
+        assert faulty.failures_injected > 0
+        assert faulty.result["pi_estimate"] == clean.result["pi_estimate"]
+        assert faulty.result["darts"] == clean.result["darts"]
+
+
+class TestValidation:
+    def test_needs_two_ranks(self):
+        workload = MonteCarloWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.configure(0, 1, np.random.default_rng(0))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloWorkload(chunks=0)
+        with pytest.raises(ConfigurationError):
+            MonteCarloWorkload(darts_per_chunk=0)
+
+    def test_state_roundtrip(self):
+        workload = MonteCarloWorkload()
+        workload.configure(0, 3, np.random.default_rng(0))
+        workload.hits = 77
+        workload.next_chunk = 5
+        state = workload.state()
+        clone = MonteCarloWorkload()
+        clone.configure(0, 3, np.random.default_rng(0))
+        clone.load(state)
+        assert clone.hits == 77 and clone.next_chunk == 5

@@ -1,0 +1,93 @@
+"""Tests for the Jacobi stencil workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import SimMPI
+from repro.simkit import Environment
+from repro.workloads import StencilWorkload, WorkShell
+
+
+def run_stencil(size, **kwargs):
+    env = Environment()
+    world = SimMPI(env, size=size)
+    workloads = {}
+
+    def program(ctx):
+        workload = StencilWorkload(**kwargs)
+        workload.configure(ctx.rank, ctx.size, np.random.default_rng(0))
+        shell = WorkShell(ctx, ctx.comm)
+        for step in range(workload.total_steps):
+            yield from workload.step(shell, step)
+        workloads[ctx.rank] = workload
+        result = yield from workload.finalize(shell)
+        return result
+
+    world.spawn(program)
+    world.run()
+    return env, world, workloads
+
+
+def global_field(workloads, size):
+    return np.vstack([workloads[r].field for r in range(size)])
+
+
+class TestPhysics:
+    def test_heat_diffuses_downward(self):
+        _, _, workloads = run_stencil(2, grid=16, total_steps=40)
+        field = global_field(workloads, 2)
+        assert field[1, 1:-1].mean() > field[8, 1:-1].mean() > 0.0
+
+    def test_boundary_conditions_held(self):
+        _, _, workloads = run_stencil(2, grid=16, total_steps=30)
+        field = global_field(workloads, 2)
+        assert np.all(field[0, 1:-1] == 1.0)  # hot top (interior columns)
+        assert np.all(field[-1, :] == 0.0)  # cold bottom
+        assert np.all(field[:, 0] == 0.0)  # cold sides
+        assert np.all(field[:, -1] == 0.0)
+
+    def test_update_deltas_shrink(self):
+        _, _, short = run_stencil(2, grid=12, total_steps=5)
+        _, _, long = run_stencil(2, grid=12, total_steps=80)
+        assert long[0].last_delta < short[0].last_delta
+
+    def test_rank_count_does_not_change_answer(self):
+        fields = {}
+        for size in (1, 2, 4):
+            _, _, workloads = run_stencil(size, grid=12, total_steps=25)
+            fields[size] = global_field(workloads, size)
+        assert np.allclose(fields[1], fields[2])
+        assert np.allclose(fields[1], fields[4])
+
+    def test_residual_allreduce_consistent(self):
+        _, world, _ = run_stencil(3, grid=12, total_steps=20, residual_every=10)
+        results = [world.result_of(r) for r in range(3)]
+        assert len({round(r["last_delta"], 15) for r in results}) == 1
+        assert len({round(r["total_heat"], 9) for r in results}) == 1
+
+
+class TestCheckpointContract:
+    def test_state_roundtrip(self):
+        _, _, workloads = run_stencil(2, grid=12, total_steps=10)
+        state = workloads[1].state()
+        clone = StencilWorkload(grid=12, total_steps=10)
+        clone.configure(1, 2, np.random.default_rng(0))
+        clone.load(state)
+        assert np.array_equal(clone.field, workloads[1].field)
+        assert clone.iteration == 10
+
+
+class TestValidation:
+    def test_too_many_ranks(self):
+        workload = StencilWorkload(grid=4)
+        with pytest.raises(ConfigurationError):
+            workload.configure(0, 5, np.random.default_rng(0))
+
+    def test_bad_grid(self):
+        with pytest.raises(ConfigurationError):
+            StencilWorkload(grid=2)
+
+    def test_step_before_configure(self):
+        with pytest.raises(ConfigurationError):
+            next(StencilWorkload().step(None, 0))

@@ -1,0 +1,88 @@
+"""Tests for the synthetic alpha-tunable workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import SimMPI
+from repro.simkit import Environment
+from repro.workloads import SyntheticWorkload, WorkShell
+
+
+def run_synthetic(size, **kwargs):
+    env = Environment()
+    world = SimMPI(env, size=size)
+
+    def program(ctx):
+        workload = SyntheticWorkload(**kwargs)
+        workload.configure(ctx.rank, ctx.size, np.random.default_rng(0))
+        shell = WorkShell(ctx, ctx.comm)
+        for step in range(workload.total_steps):
+            yield from workload.step(shell, step)
+        result = yield from workload.finalize(shell)
+        return result
+
+    world.spawn(program)
+    world.run()
+    return env, world
+
+
+class TestStructure:
+    def test_compute_share_dominates_for_big_compute(self):
+        env, _ = run_synthetic(2, total_steps=10, compute_seconds=1.0, message_bytes=64)
+        assert env.now == pytest.approx(10.0, rel=0.01)
+
+    def test_message_size_increases_time(self):
+        env_small, _ = run_synthetic(
+            4, total_steps=10, compute_seconds=0.0, message_bytes=64
+        )
+        env_big, _ = run_synthetic(
+            4, total_steps=10, compute_seconds=0.0, message_bytes=10**6
+        )
+        assert env_big.now > env_small.now
+
+    def test_single_rank_skips_ring(self):
+        env, world = run_synthetic(1, total_steps=5, compute_seconds=0.1)
+        assert world.result_of(0)["iterations"] == 5
+
+    def test_results_consistent_across_ranks(self):
+        _, world = run_synthetic(4, total_steps=20, allreduce_every=5)
+        tokens = {world.result_of(r)["token_sum"] for r in range(4)}
+        assert len(tokens) == 1
+
+    def test_deterministic(self):
+        _, world_a = run_synthetic(3, total_steps=15)
+        _, world_b = run_synthetic(3, total_steps=15)
+        assert world_a.result_of(0) == world_b.result_of(0)
+
+
+class TestCheckpointContract:
+    def test_state_roundtrip(self):
+        workload = SyntheticWorkload(total_steps=5)
+        workload.configure(1, 3, np.random.default_rng(0))
+        workload.token = 123.0
+        state = workload.state()
+        clone = SyntheticWorkload(total_steps=5)
+        clone.configure(1, 3, np.random.default_rng(0))
+        clone.load(state)
+        assert clone.token == 123.0
+        assert np.array_equal(clone.payload, workload.payload)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_steps": 0},
+            {"compute_seconds": -1.0},
+            {"message_bytes": 4},
+            {"allreduce_every": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(**kwargs)
+
+    def test_step_before_configure(self):
+        with pytest.raises(ConfigurationError):
+            next(SyntheticWorkload().step(None, 0))
