@@ -5,9 +5,15 @@ Usage::
     repro-exp list
     repro-exp run table2
     repro-exp run fig13 max_processes=50000
-    repro-exp run table4 quick=true      # reduced grid
+    repro-exp run table4 quick=true workers=4   # reduced grid, 4 workers
+    repro-exp campaign --quick --workers 4      # Table 4 grid with progress
+    repro-exp campaign --failure-free           # Table 5 sweep
     repro-exp advise --processes 50000 --mtbf 5y --base-time 128h \
                --alpha 0.2 --checkpoint-cost 8min --restart-cost 12min
+
+The campaign/table sweeps honour the ``REPRO_WORKERS`` environment
+variable when no explicit worker count is given; seeds are derived
+before fan-out, so parallel grids are bit-identical to serial ones.
 
 Parameter overrides are ``key=value`` pairs; values are parsed as
 Python literals when possible (ints, floats, tuples, booleans), else
@@ -64,6 +70,32 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="parameter overrides as key=value",
     )
+    campaign = commands.add_parser(
+        "campaign",
+        help="run the simulation campaign grid with per-cell progress",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the grid (default: REPRO_WORKERS env, "
+        "else serial); results are bit-identical either way",
+    )
+    campaign.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced 3x5 grid instead of the full 5x9 grid",
+    )
+    campaign.add_argument(
+        "--failure-free",
+        action="store_true",
+        help="run the Table 5 failure-free sweep instead of the Table 4 grid",
+    )
+    campaign.add_argument(
+        "overrides",
+        nargs="*",
+        help="extra experiment parameter overrides as key=value",
+    )
     advisor = commands.add_parser(
         "advise",
         help="recommend a redundancy degree and checkpoint interval",
@@ -112,6 +144,12 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             return 2
         print(result.render())
         return 0
+    if args.command == "campaign":
+        try:
+            return _campaign(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "advise":
         try:
             print(_advise(args))
@@ -121,6 +159,28 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return 0
     parser.print_help()
     return 1
+
+
+def _campaign(args) -> int:
+    """Run the Table 4 grid (or Table 5 sweep) with live progress."""
+    overrides = _parse_overrides(args.overrides)
+    experiment = "table5" if args.failure_free else "table4"
+    if not args.failure_free and args.quick:
+        overrides.setdefault("quick", True)
+
+    def progress(cell) -> None:
+        mtbf = "-" if cell.node_mtbf is None else f"{cell.node_mtbf:.3g}s"
+        print(
+            f"  cell mtbf={mtbf} r={cell.redundancy}x: "
+            f"{cell.minutes:.2f} min",
+            flush=True,
+        )
+
+    result = run_experiment(
+        experiment, workers=args.workers, progress=progress, **overrides
+    )
+    print(result.render())
+    return 0
 
 
 def _advise(args) -> str:

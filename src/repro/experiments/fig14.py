@@ -14,12 +14,12 @@ Extends Fig. 13's sweep and extracts the paper's headline economics:
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from .. import units
 from ..errors import ModelDivergence
 from ..models import find_crossover, throughput_break_even
-from ..models.optimize import sweep_processes
+from ..models.grid import total_time_grid
 from ..util.plot import ascii_plot
 from .fig13 import DEFAULT_DEGREES, base_model
 from .runner import ExperimentResult
@@ -39,13 +39,16 @@ def run(
             for i in range(samples)
         )
     )
-    columns = {}
-    for degree in degrees:
-        points = sweep_processes(model, degree, counts)
-        columns[degree] = [
-            units.to_hours(p.total_time) if not math.isinf(p.total_time) else math.inf
-            for p in points
-        ]
+    # One vectorized (degree x count) evaluation; inf marks divergence.
+    times = total_time_grid(
+        model,
+        processes=np.asarray(counts, dtype=float),
+        redundancy=np.asarray(degrees, dtype=float)[:, None],
+    )
+    columns = {
+        degree: [float(units.to_hours(t)) for t in times[i]]
+        for i, degree in enumerate(degrees)
+    }
     rows = [
         [counts[i]] + [round(columns[degree][i], 1) for degree in degrees]
         for i in range(len(counts))

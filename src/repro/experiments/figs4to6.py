@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from .. import units
-from ..models import CombinedModel, sweep_redundancy
+from ..models import CombinedModel
+from ..models.grid import evaluate_model_grid
 from ..util.plot import ascii_plot
 from .runner import ExperimentResult
 
@@ -38,7 +41,12 @@ def sweep_configuration(
     restart_cost: float,
     degrees,
 ):
-    """One figure's sweep; returns (points, annotations)."""
+    """One figure's sweep; returns (times in hours, annotations).
+
+    The whole degree grid is evaluated in one vectorized
+    :func:`~repro.models.grid.evaluate_model_grid` call; divergent
+    degrees carry ``inf``.
+    """
     model = CombinedModel(
         virtual_processes=virtual_processes,
         redundancy=1.0,
@@ -48,25 +56,30 @@ def sweep_configuration(
         checkpoint_cost=checkpoint_cost,
         restart_cost=restart_cost,
     )
-    points = sweep_redundancy(model, degrees)
-    finite = [p for p in points if not math.isinf(p.total_time)]
-    best = min(finite, key=lambda p: p.total_time)
-    worst = max(finite, key=lambda p: p.total_time)
-    r1 = next(p for p in points if p.redundancy == 1.0)
+    grid = evaluate_model_grid(model, redundancy=np.asarray(degrees, dtype=float))
+    total = grid.total_time
+    finite = np.isfinite(total)
+    best_index = int(np.argmin(np.where(finite, total, np.inf)))
+    worst_index = int(np.argmax(np.where(finite, total, -np.inf)))
+    r1_index = list(degrees).index(1.0)
+    r1_ok = bool(finite[r1_index])
     annotations = {
-        "T_min_hours": units.to_hours(best.total_time),
-        "r_at_min": best.redundancy,
-        "T_max_hours": units.to_hours(worst.total_time),
-        "T_r1_hours": units.to_hours(r1.total_time) if r1.result else math.inf,
+        "T_min_hours": units.to_hours(float(total[best_index])),
+        "r_at_min": float(degrees[best_index]),
+        "T_max_hours": units.to_hours(float(total[worst_index])),
+        "T_r1_hours": units.to_hours(float(total[r1_index])) if r1_ok else math.inf,
         "chkpts_at_r1": (
-            r1.result.expected_checkpoints if r1.result else math.nan
+            float(grid.expected_checkpoints[r1_index]) if r1_ok else math.nan
         ),
         "delta_at_r1_minutes": (
-            units.to_minutes(r1.result.checkpoint_interval) if r1.result else math.nan
+            units.to_minutes(float(grid.checkpoint_interval[r1_index]))
+            if r1_ok
+            else math.nan
         ),
-        "lambda_at_min_per_hour": best.result.failure_rate * 3600.0,
+        "lambda_at_min_per_hour": float(grid.failure_rate[best_index]) * 3600.0,
     }
-    return points, annotations
+    hours = [float(units.to_hours(t)) for t in total]
+    return hours, annotations
 
 
 def run(
@@ -81,10 +94,10 @@ def run(
     columns = {}
     annotations = {}
     for name, mtbf_years, alpha, c, r_cost in configs:
-        points, notes = sweep_configuration(
+        hours, notes = sweep_configuration(
             virtual_processes, base_time, mtbf_years, alpha, c, r_cost, degrees
         )
-        columns[name] = [units.to_hours(p.total_time) for p in points]
+        columns[name] = hours
         annotations[name] = notes
     rows = [
         [round(degree, 2)] + [round(columns[name][i], 1) for name, *_ in configs]

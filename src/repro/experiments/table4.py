@@ -23,6 +23,7 @@ the paper's regime.  Expected shape (the paper's observations 1-4):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence
 
 from ..models.redundancy import PAPER_REDUNDANCY_GRID
@@ -81,15 +82,19 @@ class ScaledSetup:
         return sim_seconds / self.time_scale
 
     def job_config(self) -> JobConfig:
-        """The base job configuration (MTBF/degree filled by the sweep)."""
-        setup = self
+        """The base job configuration (MTBF/degree filled by the sweep).
 
-        def factory() -> SyntheticWorkload:
-            return SyntheticWorkload(
-                total_steps=setup.steps,
-                compute_seconds=setup.compute_seconds,
-                message_bytes=setup.message_bytes,
-            )
+        The workload factory is a ``functools.partial`` over the
+        importable :class:`~repro.workloads.SyntheticWorkload` class —
+        not a closure — so the whole config pickles and the campaign
+        can fan out over worker processes.
+        """
+        factory = partial(
+            SyntheticWorkload,
+            total_steps=self.steps,
+            compute_seconds=self.compute_seconds,
+            message_bytes=self.message_bytes,
+        )
 
         return JobConfig(
             workload_factory=factory,
@@ -110,11 +115,14 @@ def run(
     degrees: Sequence[float] = PAPER_REDUNDANCY_GRID,
     quick: bool = False,
     progress=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the campaign grid and render the Table 4 matrix.
 
     ``quick=True`` shrinks the grid to 3 MTBFs x 5 degrees (handy from
-    the CLI); ``progress`` (optional) is called with each finished cell.
+    the CLI); ``progress`` (optional) is called with each finished cell;
+    ``workers`` (or the ``REPRO_WORKERS`` env var) fans the grid out
+    over a process pool with bit-identical results.
     """
     setup = setup or ScaledSetup()
     if quick:
@@ -126,6 +134,7 @@ def run(
         node_mtbfs=[setup.mtbf_to_sim(h) for h in mtbf_hours],
         degrees=list(degrees),
         progress=progress,
+        workers=workers,
     )
     matrix = cells_to_matrix(cells)
     rows = []
@@ -184,6 +193,7 @@ def run_campaign_cells(
     setup: Optional[ScaledSetup] = None,
     mtbf_hours: Sequence[float] = PAPER_MTBF_HOURS,
     degrees: Sequence[float] = PAPER_REDUNDANCY_GRID,
+    workers: Optional[int] = None,
 ):
     """Raw campaign cells (used by fig12's observed-vs-modeled overlay)."""
     setup = setup or ScaledSetup()
@@ -192,4 +202,5 @@ def run_campaign_cells(
         base,
         node_mtbfs=[setup.mtbf_to_sim(h) for h in mtbf_hours],
         degrees=list(degrees),
+        workers=workers,
     )

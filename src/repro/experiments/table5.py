@@ -29,11 +29,19 @@ def run(
     setup: Optional[ScaledSetup] = None,
     degrees: Sequence[float] = PAPER_REDUNDANCY_GRID,
     alpha: float = 0.2,
+    workers: Optional[int] = None,
+    progress=None,
 ) -> ExperimentResult:
-    """Run the failure-free sweep and compare to the linear expectation."""
+    """Run the failure-free sweep and compare to the linear expectation.
+
+    ``workers`` (or ``REPRO_WORKERS``) runs the per-degree cells in a
+    process pool; results are identical to the serial sweep.
+    """
     setup = setup or ScaledSetup()
     base = setup.job_config()
-    cells = run_failure_free_sweep(base, degrees=list(degrees))
+    cells = run_failure_free_sweep(
+        base, degrees=list(degrees), workers=workers, progress=progress
+    )
     observed = {cell.redundancy: cell.report.total_time for cell in cells}
     base_time = observed[1.0]
     observed_minutes = [

@@ -37,6 +37,9 @@ Module map
     Young's first-order interval for comparison.
 ``combined``
     :class:`CombinedModel` — the end-to-end pipeline gluing the above.
+``grid``
+    Vectorized (NumPy) evaluation of the combined pipeline over whole
+    parameter grids — the fast path behind the Fig. 4-6/13/14 sweeps.
 ``simplified``
     The experiment-matched model of Section 6, observation (5).
 ``optimize``
@@ -70,11 +73,14 @@ from .checkpointing import (
     young_interval,
 )
 from .combined import CombinedModel, CombinedResult
+from .grid import ModelGrid, evaluate_grid, evaluate_model_grid, total_time_grid
 from .simplified import simplified_total_time
 from .optimize import (
     CrossoverPoint,
     RedundancySweepPoint,
+    clear_model_cache,
     find_crossover,
+    model_cache_info,
     optimal_interval,
     optimal_redundancy,
     sweep_processes,
@@ -90,8 +96,14 @@ __all__ = [
     "Recommendation",
     "recommend",
     "CombinedModel",
+    "ModelGrid",
+    "clear_model_cache",
+    "evaluate_grid",
+    "evaluate_model_grid",
+    "model_cache_info",
     "optimal_interval",
     "sweep_processes",
+    "total_time_grid",
     "CombinedResult",
     "CrossoverPoint",
     "RedundancyPartition",

@@ -18,7 +18,7 @@ Figures 4-6 and 13-14 are produced:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import ConfigurationError, ModelDivergence
@@ -140,33 +140,11 @@ class CombinedModel:
 
     def with_redundancy(self, redundancy: float) -> "CombinedModel":
         """Copy of this configuration at a different redundancy degree."""
-        return CombinedModel(
-            virtual_processes=self.virtual_processes,
-            redundancy=redundancy,
-            node_mtbf=self.node_mtbf,
-            alpha=self.alpha,
-            base_time=self.base_time,
-            checkpoint_cost=self.checkpoint_cost,
-            restart_cost=self.restart_cost,
-            interval_rule=self.interval_rule,
-            checkpoint_interval=self.checkpoint_interval,
-            exact_reliability=self.exact_reliability,
-        )
+        return replace(self, redundancy=redundancy)
 
     def with_processes(self, virtual_processes: int) -> "CombinedModel":
         """Copy of this configuration at a different process count."""
-        return CombinedModel(
-            virtual_processes=virtual_processes,
-            redundancy=self.redundancy,
-            node_mtbf=self.node_mtbf,
-            alpha=self.alpha,
-            base_time=self.base_time,
-            checkpoint_cost=self.checkpoint_cost,
-            restart_cost=self.restart_cost,
-            interval_rule=self.interval_rule,
-            checkpoint_interval=self.checkpoint_interval,
-            exact_reliability=self.exact_reliability,
-        )
+        return replace(self, virtual_processes=virtual_processes)
 
     def interval(self, system_mtbf: float) -> float:
         """The checkpoint interval this configuration will use."""

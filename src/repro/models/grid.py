@@ -1,0 +1,286 @@
+"""Vectorized evaluation of the combined model over parameter grids.
+
+:class:`~repro.models.combined.CombinedModel` evaluates one scalar
+configuration at a time; the sweeps behind Figures 4-6, 13 and 14 (and
+any design-space exploration over ``(N, r, theta, delta)``) evaluate
+thousands.  :func:`evaluate_grid` runs the whole Section 4.3 pipeline —
+Eq. 1 (redundant time), Eqs. 5-8 (partition), Eq. 9 (reliability),
+Eq. 10 (failure rate), Eq. 15/Young (interval) and Eq. 14 (total time)
+— over NumPy arrays in one shot, broadcasting its inputs.
+
+The arithmetic mirrors the scalar implementation operation-for-operation
+(including the paper's ``t/theta`` linearisation clamp, the partition's
+float-artifact epsilon, Daly's ``c >= 2 Theta`` guard, and the
+``exp``/``log`` round trip in Eq. 10), so results agree with
+``CombinedModel.evaluate()`` to float64 rounding — the equivalence test
+in ``tests/models/test_grid.py`` asserts 1e-9 relative error.
+
+Divergent cells (where the scalar model raises
+:class:`~repro.errors.ModelDivergence`) carry ``inf`` total time, the
+same convention as ``CombinedModel.total_time_or_inf()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .combined import INTERVAL_RULES, CombinedModel
+
+__all__ = [
+    "ModelGrid",
+    "evaluate_grid",
+    "evaluate_model_grid",
+    "total_time_grid",
+]
+
+
+@dataclass(frozen=True)
+class ModelGrid:
+    """Array-valued results of one vectorized combined-model evaluation.
+
+    All fields share one broadcast shape.  Cells where the model
+    diverges (no finite completion time) hold ``inf`` in ``total_time``
+    and ``nan`` in ``checkpoint_interval``; ``diverged`` masks them.
+    """
+
+    #: Eq. 1 — execution time with redundant communication.
+    redundant_time: np.ndarray
+    #: Eq. 8 — physical processes consumed.
+    total_processes: np.ndarray
+    #: Eq. 9 — probability the system survives one ``t_Red`` run.
+    system_reliability: np.ndarray
+    #: Eq. 10 — system failure rate (failures per second).
+    failure_rate: np.ndarray
+    #: Eq. 10 — system MTBF (``inf`` when failure-free).
+    system_mtbf: np.ndarray
+    #: Eq. 15 (or Young / override) — checkpoint interval used.
+    checkpoint_interval: np.ndarray
+    #: Eq. 14 — expected total wallclock time (``inf`` where diverged).
+    total_time: np.ndarray
+
+    @property
+    def diverged(self) -> np.ndarray:
+        """Boolean mask of cells with no finite completion time."""
+        return ~np.isfinite(self.total_time)
+
+    @property
+    def expected_checkpoints(self) -> np.ndarray:
+        """Expected checkpoints taken, ``t_Red / delta``."""
+        return self.redundant_time / self.checkpoint_interval
+
+    @property
+    def expected_failures(self) -> np.ndarray:
+        """Eq. 11 — ``T_total * lambda`` (``inf``/``nan`` where diverged)."""
+        return self.total_time * self.failure_rate
+
+    @property
+    def node_seconds(self) -> np.ndarray:
+        """Resource usage: physical processes x wallclock time."""
+        return self.total_processes * self.total_time
+
+
+def _as_float(value) -> np.ndarray:
+    return np.asarray(value, dtype=np.float64)
+
+
+def evaluate_grid(
+    virtual_processes,
+    redundancy,
+    node_mtbf,
+    alpha,
+    base_time,
+    checkpoint_cost,
+    restart_cost,
+    interval_rule: str = "daly",
+    checkpoint_interval=None,
+    exact_reliability: bool = False,
+) -> ModelGrid:
+    """Evaluate the combined model over broadcast parameter arrays.
+
+    Every parameter accepts a scalar or an array; arrays broadcast
+    against each other with normal NumPy rules (e.g. a column of
+    degrees against a row of process counts yields the full 2-D grid).
+    """
+    if interval_rule not in INTERVAL_RULES:
+        raise ConfigurationError(
+            f"interval_rule must be one of {INTERVAL_RULES}, got {interval_rule!r}"
+        )
+    n = _as_float(virtual_processes)
+    r = _as_float(redundancy)
+    theta = _as_float(node_mtbf)
+    a = _as_float(alpha)
+    t = _as_float(base_time)
+    c = _as_float(checkpoint_cost)
+    rc = _as_float(restart_cost)
+    if np.any(n < 1):
+        raise ConfigurationError("virtual_processes must be >= 1")
+    if np.any(r < 1.0):
+        raise ConfigurationError("redundancy must be >= 1")
+    if np.any(theta <= 0):
+        raise ConfigurationError("node_mtbf must be > 0")
+    if np.any((a < 0.0) | (a > 1.0)):
+        raise ConfigurationError("alpha must be in [0, 1]")
+    if np.any(t < 0):
+        raise ConfigurationError("base_time must be >= 0")
+    if np.any(c <= 0):
+        raise ConfigurationError("checkpoint_cost must be > 0")
+    if np.any(rc < 0):
+        raise ConfigurationError("restart_cost must be >= 0")
+    override = None
+    if checkpoint_interval is not None:
+        override = _as_float(checkpoint_interval)
+        if np.any(override <= 0):
+            raise ConfigurationError("checkpoint_interval override must be > 0")
+
+    shape = np.broadcast_shapes(
+        n.shape, r.shape, theta.shape, a.shape, t.shape, c.shape, rc.shape,
+        override.shape if override is not None else (),
+    )
+    n, r, theta, a, t, c, rc = (
+        np.broadcast_to(x, shape).astype(np.float64)
+        for x in (n, r, theta, a, t, c, rc)
+    )
+    if override is not None:
+        override = np.broadcast_to(override, shape).astype(np.float64)
+
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        # Eq. 1 — redundant execution time.
+        t_red = (1.0 - a) * t + a * t * r
+
+        # Eqs. 5-8 — the partial-redundancy partition.
+        floor_level = np.floor(r)
+        ceil_level = np.ceil(r)
+        integer_r = floor_level == ceil_level
+        # Epsilon mirrors the scalar partition's float-artifact guard.
+        floor_count = np.where(
+            integer_r, 0.0, np.floor((ceil_level - r) * n + 1e-9)
+        )
+        ceil_count = n - floor_count
+        total_processes = ceil_count * ceil_level + floor_count * floor_level
+
+        # Eq. 9 — log-space system reliability.
+        if exact_reliability:
+            p = -np.expm1(-t_red / theta)
+        else:
+            p = np.minimum(1.0, t_red / theta)
+        log_r = np.zeros(shape, dtype=np.float64)
+        dead = np.zeros(shape, dtype=bool)
+        for count, level in ((floor_count, floor_level), (ceil_count, ceil_level)):
+            active = count > 0
+            sphere_fail = np.power(p, level)
+            dead |= active & (sphere_fail >= 1.0)
+            term = np.where(
+                active & (sphere_fail < 1.0),
+                count * np.log1p(-np.where(sphere_fail < 1.0, sphere_fail, 0.0)),
+                0.0,
+            )
+            log_r = log_r + term
+        r_sys = np.where(dead, 0.0, np.exp(log_r))
+
+        # Eq. 10 — failure rate and system MTBF (round trip through
+        # exp/log exactly like the scalar path).
+        rate = np.where(r_sys <= 0.0, np.inf, -np.log(r_sys) / t_red)
+        failure_free = rate == 0.0
+        diverged = np.isinf(rate)
+        mtbf = np.where(failure_free, np.inf, 1.0 / np.where(rate > 0, rate, 1.0))
+
+        # Eq. 15 / Young / override — checkpoint interval.
+        safe_mtbf = np.where(np.isfinite(mtbf) & (mtbf > 0), mtbf, 1.0)
+        if interval_rule == "young":
+            rule_delta = np.sqrt(2.0 * c * safe_mtbf)
+        else:
+            ratio = c / (2.0 * safe_mtbf)
+            base = np.sqrt(2.0 * c * safe_mtbf)
+            correction = 1.0 + np.sqrt(ratio) / 3.0 + ratio / 9.0
+            rule_delta = np.where(ratio >= 1.0, safe_mtbf, base * correction - c)
+        if override is not None:
+            delta = override.copy()
+        else:
+            # Failure-free in expectation: nominal one-checkpoint run.
+            delta = np.where(failure_free, t_red, rule_delta)
+        delta = np.where(diverged, np.nan, delta)
+
+        # Eq. 14 — total time via Eqs. 12-13.
+        safe_delta = np.where(np.isfinite(delta) & (delta > 0), delta, 1.0)
+        useful = t_red + t_red * c / safe_delta
+        delta_c = safe_delta + c
+        denom = -np.expm1(-delta_c / safe_mtbf)
+        denom = np.where(denom > 0, denom, 1.0)
+        t_lw = (
+            -safe_mtbf * np.expm1(-safe_delta / safe_mtbf)
+            - safe_delta * np.exp(-delta_c / safe_mtbf)
+        ) / denom
+        x = rc + t_lw
+        survive = np.exp(-x / safe_mtbf)
+        fail = -np.expm1(-x / safe_mtbf)
+        truncated = safe_mtbf - survive * (x + safe_mtbf)
+        t_rr = np.where(x == 0.0, 0.0, fail * truncated + survive * x)
+        loss = rate * t_rr
+        no_progress = diverged | (loss >= 1.0) | ~np.isfinite(loss)
+        total = np.where(
+            failure_free, useful, np.where(no_progress, np.inf, useful / (1.0 - loss))
+        )
+        mtbf_out = np.where(diverged, 0.0, mtbf)
+
+    return ModelGrid(
+        redundant_time=t_red,
+        total_processes=total_processes,
+        system_reliability=r_sys,
+        failure_rate=rate,
+        system_mtbf=mtbf_out,
+        checkpoint_interval=delta,
+        total_time=total,
+    )
+
+
+def evaluate_model_grid(model: CombinedModel, **axes) -> ModelGrid:
+    """Evaluate ``model`` with some fields replaced by arrays.
+
+    ``axes`` maps :class:`~repro.models.combined.CombinedModel` field
+    names (``virtual_processes``, ``redundancy``, ``node_mtbf``,
+    ``alpha``, ``base_time``, ``checkpoint_cost``, ``restart_cost``,
+    ``checkpoint_interval``) to scalars or arrays; everything else is
+    taken from ``model``.
+    """
+    params = {
+        "virtual_processes": model.virtual_processes,
+        "redundancy": model.redundancy,
+        "node_mtbf": model.node_mtbf,
+        "alpha": model.alpha,
+        "base_time": model.base_time,
+        "checkpoint_cost": model.checkpoint_cost,
+        "restart_cost": model.restart_cost,
+        "checkpoint_interval": model.checkpoint_interval,
+    }
+    unknown = set(axes) - set(params)
+    if unknown:
+        raise ConfigurationError(f"unknown model grid axes: {sorted(unknown)}")
+    params.update(axes)
+    return evaluate_grid(
+        interval_rule=model.interval_rule,
+        exact_reliability=model.exact_reliability,
+        **params,
+    )
+
+
+def total_time_grid(
+    model: CombinedModel,
+    processes=None,
+    redundancy=None,
+) -> np.ndarray:
+    """Total completion times over process/redundancy axes (seconds).
+
+    The fast-path equivalent of looping
+    ``model.with_processes(n).with_redundancy(r).total_time_or_inf()``;
+    divergent cells are ``inf``.
+    """
+    axes = {}
+    if processes is not None:
+        axes["virtual_processes"] = processes
+    if redundancy is not None:
+        axes["redundancy"] = redundancy
+    return evaluate_model_grid(model, **axes).total_time

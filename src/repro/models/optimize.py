@@ -19,7 +19,8 @@ closed form (Eq. 15) sits at the true minimum of Eq. 14.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Iterable, List, Optional, Sequence
 
 from scipy import optimize as _sciopt
@@ -89,18 +90,9 @@ def optimal_interval(
     daly = reference.checkpoint_interval
 
     def objective(delta: float) -> float:
-        candidate = CombinedModel(
-            virtual_processes=model.virtual_processes,
-            redundancy=model.redundancy,
-            node_mtbf=model.node_mtbf,
-            alpha=model.alpha,
-            base_time=model.base_time,
-            checkpoint_cost=model.checkpoint_cost,
-            restart_cost=model.restart_cost,
-            interval_rule=model.interval_rule,
-            checkpoint_interval=float(delta),
-            exact_reliability=model.exact_reliability,
-        )
+        # dataclasses.replace keeps every other field — including ones
+        # added after this code was written — in the objective.
+        candidate = replace(model, checkpoint_interval=float(delta))
         return candidate.total_time_or_inf()
 
     outcome = _sciopt.minimize_scalar(
@@ -122,8 +114,36 @@ class CrossoverPoint:
     high_time: float
 
 
+@lru_cache(maxsize=65536)
+def _cached_total_time(
+    model: CombinedModel, processes: int, redundancy: float
+) -> float:
+    return (
+        model.with_processes(processes).with_redundancy(redundancy).total_time_or_inf()
+    )
+
+
 def _time_at(model: CombinedModel, processes: int, redundancy: float) -> float:
-    return model.with_processes(processes).with_redundancy(redundancy).total_time_or_inf()
+    """Memoized Eq. 14 evaluation at ``(N, r)``.
+
+    The exponential-scan + bisection loops below probe the *same*
+    low-degree configurations over and over (``find_crossover`` holds
+    ``low_redundancy`` fixed while halving on ``N``;
+    ``throughput_break_even`` re-evaluates the plain 1x job at every
+    probe).  ``CombinedModel`` is a frozen — hence hashable — dataclass,
+    so an LRU memo on the full configuration is exact.
+    """
+    return _cached_total_time(model, processes, redundancy)
+
+
+def clear_model_cache() -> None:
+    """Drop the memoized ``(model, N, r)`` evaluations (for tests/benchmarks)."""
+    _cached_total_time.cache_clear()
+
+
+def model_cache_info():
+    """Statistics of the memoized evaluation cache."""
+    return _cached_total_time.cache_info()
 
 
 def find_crossover(

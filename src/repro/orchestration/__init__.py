@@ -9,17 +9,31 @@ time and event counts the evaluation tables are built from.
 
 :mod:`campaign` sweeps jobs over (MTBF, redundancy) grids to
 regenerate Table 4 / Figures 8-9, and failure-free runs for
-Table 5 / Figure 10.
+Table 5 / Figure 10.  :mod:`executor` fans independent grid cells out
+over a process pool (``workers``/``REPRO_WORKERS``) with bit-identical
+results, ordered collection and per-cell error capture.
 """
 
 from .job import JobConfig, JobReport, ResilientJob
 from .campaign import CampaignCell, run_failure_free_sweep, run_redundancy_sweep
+from .executor import (
+    CampaignExecutionError,
+    CampaignExecutor,
+    CellOutcome,
+    CellSpec,
+    resolve_workers,
+)
 
 __all__ = [
     "CampaignCell",
+    "CampaignExecutionError",
+    "CampaignExecutor",
+    "CellOutcome",
+    "CellSpec",
     "JobConfig",
     "JobReport",
     "ResilientJob",
+    "resolve_workers",
     "run_failure_free_sweep",
     "run_redundancy_sweep",
 ]

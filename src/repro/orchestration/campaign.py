@@ -5,15 +5,26 @@ A campaign runs one :class:`~repro.orchestration.job.ResilientJob` per
 same failure-time draws per physical slot), exactly how the paper's
 experiments sweep node MTBF 6-30 h against redundancy 1x-3x in 0.25x
 steps.
+
+Cells are independent, so both sweeps delegate to
+:class:`~repro.orchestration.executor.CampaignExecutor`: pass
+``workers > 1`` (or set ``REPRO_WORKERS``) to fan the grid out over a
+process pool.  Seeds are derived before submission, so parallel runs
+are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from .executor import (
+    CampaignExecutionError,
+    CampaignExecutor,
+    CellOutcome,
+    CellSpec,
+)
 from .job import JobConfig, JobReport, ResilientJob
 
 
@@ -32,7 +43,68 @@ class CampaignCell:
 
 
 def _job_for(base: JobConfig, **overrides) -> ResilientJob:
-    return ResilientJob(replace(copy.copy(base), **overrides))
+    return ResilientJob(replace(base, **overrides))
+
+
+def _cell_from(outcome: CellOutcome) -> CampaignCell:
+    return CampaignCell(
+        node_mtbf=outcome.spec.node_mtbf,
+        redundancy=outcome.spec.redundancy,
+        report=outcome.report,
+    )
+
+
+def _run_specs(
+    specs: Sequence[CellSpec],
+    progress: Optional[Callable[[CampaignCell], None]],
+    workers: Optional[int],
+    strict: bool,
+) -> List[CampaignCell]:
+    """Execute specs and convert outcomes, enforcing error policy.
+
+    ``strict=True`` (the default) raises
+    :class:`~repro.orchestration.executor.CampaignExecutionError` if any
+    cell failed — after every other cell has finished; ``strict=False``
+    silently drops failed cells from the result.
+    """
+
+    def on_outcome(outcome: CellOutcome) -> None:
+        if progress is not None and outcome.ok:
+            progress(_cell_from(outcome))
+
+    executor = CampaignExecutor(workers=workers)
+    outcomes = executor.run(specs, progress=on_outcome)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures and strict:
+        raise CampaignExecutionError(failures)
+    return [_cell_from(outcome) for outcome in outcomes if outcome.ok]
+
+
+def redundancy_sweep_specs(
+    base: JobConfig,
+    node_mtbfs: Sequence[float],
+    degrees: Sequence[float],
+    seed_offset: int = 0,
+) -> List[CellSpec]:
+    """The Table 4 grid as executable cell specs (row-major order).
+
+    Seeds differ per MTBF row (the failure processes differ) but are
+    shared across degrees in a row so degrees are compared under common
+    random numbers.
+    """
+    if not node_mtbfs or not degrees:
+        raise ConfigurationError("sweep needs at least one MTBF and one degree")
+    specs = []
+    for row, mtbf in enumerate(node_mtbfs):
+        for degree in degrees:
+            config = replace(
+                base,
+                node_mtbf=mtbf,
+                redundancy=degree,
+                seed=base.seed + seed_offset + 1000 * row,
+            )
+            specs.append(CellSpec(node_mtbf=mtbf, redundancy=degree, config=config))
+    return specs
 
 
 def run_redundancy_sweep(
@@ -41,59 +113,53 @@ def run_redundancy_sweep(
     degrees: Sequence[float],
     seed_offset: int = 0,
     progress: Optional[Callable[[CampaignCell], None]] = None,
+    workers: Optional[int] = None,
+    strict: bool = True,
 ) -> List[CampaignCell]:
     """The Table 4 grid: completion time per (MTBF, redundancy) cell.
 
     Every cell reuses the base config with only ``node_mtbf``,
-    ``redundancy`` and the seed changed; seeds differ per MTBF row (the
-    failure processes differ) but are shared across degrees in a row so
-    degrees are compared under common random numbers.
+    ``redundancy`` and the seed changed.  ``workers`` (default: the
+    ``REPRO_WORKERS`` env var, else serial) selects the process-pool
+    fan-out; results are identical and ordered either way.
     """
-    if not node_mtbfs or not degrees:
-        raise ConfigurationError("sweep needs at least one MTBF and one degree")
-    cells: List[CampaignCell] = []
-    for row, mtbf in enumerate(node_mtbfs):
-        for degree in degrees:
-            job = _job_for(
-                base,
-                node_mtbf=mtbf,
-                redundancy=degree,
-                seed=base.seed + seed_offset + 1000 * row,
-            )
-            cell = CampaignCell(
-                node_mtbf=mtbf, redundancy=degree, report=job.run()
-            )
-            cells.append(cell)
-            if progress is not None:
-                progress(cell)
-    return cells
+    specs = redundancy_sweep_specs(base, node_mtbfs, degrees, seed_offset)
+    return _run_specs(specs, progress, workers, strict)
+
+
+def failure_free_sweep_specs(
+    base: JobConfig,
+    degrees: Sequence[float],
+) -> List[CellSpec]:
+    """The Table 5 sweep as executable cell specs."""
+    if not degrees:
+        raise ConfigurationError("sweep needs at least one degree")
+    specs = []
+    for degree in degrees:
+        config = replace(
+            base,
+            node_mtbf=None,
+            redundancy=degree,
+            checkpointing=False,
+        )
+        specs.append(CellSpec(node_mtbf=None, redundancy=degree, config=config))
+    return specs
 
 
 def run_failure_free_sweep(
     base: JobConfig,
     degrees: Sequence[float],
     progress: Optional[Callable[[CampaignCell], None]] = None,
+    workers: Optional[int] = None,
+    strict: bool = True,
 ) -> List[CampaignCell]:
     """The Table 5 sweep: failure-free execution time vs redundancy.
 
     Failure injection and checkpointing are disabled; what remains is
     the pure redundancy overhead (Figure 10's super-linear curve).
     """
-    if not degrees:
-        raise ConfigurationError("sweep needs at least one degree")
-    cells: List[CampaignCell] = []
-    for degree in degrees:
-        job = _job_for(
-            base,
-            node_mtbf=None,
-            redundancy=degree,
-            checkpointing=False,
-        )
-        cell = CampaignCell(node_mtbf=None, redundancy=degree, report=job.run())
-        cells.append(cell)
-        if progress is not None:
-            progress(cell)
-    return cells
+    specs = failure_free_sweep_specs(base, degrees)
+    return _run_specs(specs, progress, workers, strict)
 
 
 def cells_to_matrix(

@@ -1,0 +1,211 @@
+"""Parallel campaign execution over independent grid cells.
+
+Campaign grids (Table 4/5, Figures 8-10) are embarrassingly parallel:
+every cell is one self-contained :class:`~repro.orchestration.job.ResilientJob`
+whose outcome depends only on its :class:`~repro.orchestration.job.JobConfig`
+(including the seed).  :class:`CampaignExecutor` fans cells out over a
+``concurrent.futures.ProcessPoolExecutor`` while preserving exactly the
+serial semantics:
+
+* **determinism** — seeds are derived *before* submission, so a parallel
+  run is bit-identical to a serial run of the same specs;
+* **ordered results** — outcomes come back in spec order regardless of
+  completion order;
+* **progress** — an optional callback fires in the *parent* process as
+  cells complete (completion order, which may differ from spec order);
+* **error capture** — one diverged/broken cell is recorded as a failed
+  :class:`CellOutcome`; the rest of the campaign keeps running;
+* **graceful fallback** — anything that prevents pooling (``workers <= 1``,
+  a single cell, unpicklable configs, a sandbox without process support)
+  silently drops to the serial path.
+
+Worker count resolution order: explicit argument, then the
+``REPRO_WORKERS`` environment variable, then serial (1).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ReproError
+from .job import JobConfig, JobReport, ResilientJob
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+class CampaignExecutionError(ReproError):
+    """One or more campaign cells failed (strict mode).
+
+    Carries the failed :class:`CellOutcome` records in ``failures``.
+    """
+
+    def __init__(self, failures: Sequence["CellOutcome"]) -> None:
+        summary = "; ".join(
+            f"(mtbf={o.spec.node_mtbf}, r={o.spec.redundancy}): "
+            f"{o.error_type}: {o.error}"
+            for o in failures
+        )
+        super().__init__(f"{len(failures)} campaign cell(s) failed: {summary}")
+        self.failures = list(failures)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell to execute: a fully-resolved config plus coordinates.
+
+    The coordinates (``node_mtbf``, ``redundancy``) are carried alongside
+    the config so results can be pivoted back into the campaign matrix
+    without re-deriving them.
+    """
+
+    node_mtbf: Optional[float]
+    redundancy: float
+    config: JobConfig
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one cell produced: a report, or a captured error."""
+
+    spec: CellSpec
+    report: Optional[JobReport] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell ran to a report (even an incomplete job)."""
+        return self.report is not None
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_WORKERS`` env > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    return max(1, int(workers))
+
+
+def _execute_spec(spec: CellSpec) -> Tuple[Optional[JobReport], Optional[str], Optional[str]]:
+    """Run one cell, capturing any error as data (worker-side).
+
+    Returns ``(report, error_type, error_message)`` rather than raising
+    so a broken cell never tears down the pool, and exceptions that do
+    not pickle cleanly cannot poison the result channel.
+    """
+    try:
+        return ResilientJob(spec.config).run(), None, None
+    except Exception as error:  # noqa: BLE001 - per-cell capture is the point
+        return None, type(error).__name__, str(error)
+
+
+class CampaignExecutor:
+    """Run cell specs serially or across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to use.  ``None`` consults ``REPRO_WORKERS``;
+        ``<= 1`` runs serially in-process.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+        #: How the last :meth:`run` actually executed ("serial"/"process").
+        self.last_mode: Optional[str] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        progress: Optional[Callable[[CellOutcome], None]] = None,
+    ) -> List[CellOutcome]:
+        """Execute every spec; outcomes are returned in spec order.
+
+        ``progress`` is invoked in the calling process once per cell as
+        it completes (completion order under pooling).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers <= 1 or len(specs) == 1 or not self._poolable(specs):
+            return self._run_serial(specs, progress)
+        try:
+            return self._run_pool(specs, progress)
+        except (OSError, PermissionError, ImportError):
+            # Pool could not be created (restricted environment); the
+            # cells themselves are untouched, so serial is equivalent.
+            self.last_mode = "serial-fallback"
+            return self._run_serial(specs, progress)
+
+    # -- execution paths ----------------------------------------------------
+
+    @staticmethod
+    def _poolable(specs: Sequence[CellSpec]) -> bool:
+        """Whether the specs survive the trip to a worker process."""
+        try:
+            pickle.dumps(specs)
+            return True
+        except Exception:  # noqa: BLE001 - any pickling failure means serial
+            return False
+
+    def _run_serial(
+        self,
+        specs: Sequence[CellSpec],
+        progress: Optional[Callable[[CellOutcome], None]],
+    ) -> List[CellOutcome]:
+        if self.last_mode != "serial-fallback":
+            self.last_mode = "serial"
+        outcomes = []
+        for spec in specs:
+            report, error_type, error = _execute_spec(spec)
+            outcome = CellOutcome(
+                spec=spec, report=report, error=error, error_type=error_type
+            )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return outcomes
+
+    def _run_pool(
+        self,
+        specs: Sequence[CellSpec],
+        progress: Optional[Callable[[CellOutcome], None]],
+    ) -> List[CellOutcome]:
+        self.last_mode = "process"
+        workers = min(self.workers, len(specs))
+        outcomes: List[Optional[CellOutcome]] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(_execute_spec, spec): index
+                for index, spec in enumerate(specs)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    spec = specs[index]
+                    try:
+                        report, error_type, error = future.result()
+                    except Exception as exc:  # worker died / result unpicklable
+                        report, error_type, error = None, type(exc).__name__, str(exc)
+                    outcome = CellOutcome(
+                        spec=spec, report=report, error=error, error_type=error_type
+                    )
+                    outcomes[index] = outcome
+                    if progress is not None:
+                        progress(outcome)
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,204 @@
+"""Tests for the vectorized combined-model grid (models/grid.py).
+
+The core property: for any single configuration, the NumPy path is
+equivalent to ``CombinedModel.evaluate()`` to within 1e-9 relative
+error (divergence maps to ``inf`` on both sides).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.models import CombinedModel, PAPER_REDUNDANCY_GRID
+from repro.models.grid import evaluate_grid, evaluate_model_grid, total_time_grid
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def reference_model(**overrides):
+    params = dict(
+        virtual_processes=50_000,
+        redundancy=1.0,
+        node_mtbf=units.years(5),
+        alpha=0.2,
+        base_time=units.hours(128),
+        checkpoint_cost=units.minutes(8),
+        restart_cost=units.minutes(12),
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+#: One ULP at 1.0 — the machine epsilon for float64.
+EPSILON = math.ulp(1.0)
+
+#: Safety factor on the conditioning-derived error bounds below.
+CONDITION_SAFETY = 4.0
+
+
+def assert_equivalent(model: CombinedModel):
+    """Scalar evaluate() and one-cell evaluate_grid agree to 1e-9.
+
+    The flat 1e-9 bound holds wherever the model is well-conditioned.
+    Two regimes of Eqs. 10-14 amplify even a one-ULP disagreement in a
+    transcendental (``np.log1p`` vs ``math.log1p`` differ in the last
+    ULP) beyond any fixed tolerance, so the bound is widened by the
+    conditioning the scalar result itself reports:
+
+    * near-reliable systems (``|ln R_sys| << 1``): Eq. 10 recovers the
+      failure rate through an ``exp``/``log`` round trip at ``R_sys ~ 1``,
+      quantizing ``ln R_sys`` to ULP(1.0) — the rate (and the Daly
+      interval with it) is only determined to ``~eps/|ln R_sys|``
+      relative;
+    * near-divergent systems (``loss -> 1``): the Eq. 14 fixed point
+      ``T = useful/(1 - loss)`` amplifies a relative perturbation of the
+      loss fraction by ``loss/(1 - loss)``.
+    """
+    scalar = model.total_time_or_inf()
+    grid = evaluate_grid(
+        model.virtual_processes,
+        model.redundancy,
+        model.node_mtbf,
+        model.alpha,
+        model.base_time,
+        model.checkpoint_cost,
+        model.restart_cost,
+        interval_rule=model.interval_rule,
+        checkpoint_interval=model.checkpoint_interval,
+        exact_reliability=model.exact_reliability,
+    )
+    vector = float(grid.total_time)
+    if math.isinf(scalar) or math.isinf(vector):
+        assert math.isinf(scalar) == math.isinf(vector), (scalar, vector)
+        return
+    result = model.evaluate()
+    # Achievable relative agreement on the failure rate (regime 1).
+    log_exposure = result.failure_rate * result.redundant_time  # |ln R_sys|
+    if math.isfinite(result.failure_rate) and log_exposure > 0.0:
+        rate_error = CONDITION_SAFETY * EPSILON * (1.0 + 1.0 / log_exposure)
+    else:
+        rate_error = 0.0
+    # How the rate error reaches total_time: through the lost-work share
+    # (amplified by loss/(1-loss), regime 2) and the checkpoint share.
+    live_share = result.breakdown.work + result.breakdown.checkpoint
+    loss_ratio = (1.0 - live_share) / live_share if live_share > 0.0 else math.inf
+    total_tolerance = RELATIVE_TOLERANCE + rate_error * (
+        loss_ratio + result.breakdown.checkpoint
+    )
+    rate_tolerance = max(RELATIVE_TOLERANCE, rate_error)
+    assert vector == pytest.approx(scalar, rel=total_tolerance)
+    # Non-divergent cells also agree on the intermediate quantities.
+    assert float(grid.redundant_time) == pytest.approx(
+        result.redundant_time, rel=RELATIVE_TOLERANCE
+    )
+    assert float(grid.total_processes) == result.partition.total_processes
+    assert float(grid.checkpoint_interval) == pytest.approx(
+        result.checkpoint_interval, rel=rate_tolerance
+    )
+    if math.isfinite(result.failure_rate):
+        assert float(grid.failure_rate) == pytest.approx(
+            result.failure_rate, rel=rate_tolerance, abs=1e-300
+        )
+
+
+class TestScalarEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=5_000_000),
+        r=st.one_of(
+            st.floats(min_value=1.0, max_value=3.0),
+            st.sampled_from(PAPER_REDUNDANCY_GRID),
+        ),
+        theta=st.floats(min_value=1e3, max_value=1e9),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        t=st.floats(min_value=1.0, max_value=1e6),
+        c=st.floats(min_value=0.1, max_value=5e3),
+        rc=st.floats(min_value=0.0, max_value=5e3),
+        rule=st.sampled_from(("daly", "young")),
+        exact=st.booleans(),
+    )
+    def test_randomized_configurations(self, n, r, theta, alpha, t, c, rc, rule, exact):
+        assert_equivalent(
+            CombinedModel(
+                virtual_processes=n,
+                redundancy=r,
+                node_mtbf=theta,
+                alpha=alpha,
+                base_time=t,
+                checkpoint_cost=c,
+                restart_cost=rc,
+                interval_rule=rule,
+                exact_reliability=exact,
+            )
+        )
+
+    def test_paper_reference_point(self):
+        assert_equivalent(reference_model(redundancy=2.0))
+
+    def test_explicit_interval_override(self):
+        assert_equivalent(reference_model(checkpoint_interval=units.hours(1)))
+
+    def test_failure_free_limit(self):
+        # Enormous MTBF: linearised rate rounds to zero -> failure-free path.
+        assert_equivalent(
+            reference_model(virtual_processes=1, node_mtbf=1e18, redundancy=2.0)
+        )
+
+
+class TestGridSemantics:
+    def test_broadcast_shape(self):
+        grid = evaluate_model_grid(
+            reference_model(),
+            virtual_processes=np.array([100.0, 1000.0, 10_000.0]),
+            redundancy=np.asarray(PAPER_REDUNDANCY_GRID)[:, None],
+        )
+        assert grid.total_time.shape == (len(PAPER_REDUNDANCY_GRID), 3)
+
+    def test_divergence_marked_inf(self):
+        doomed = reference_model(
+            virtual_processes=1_000_000, node_mtbf=units.days(120)
+        )
+        grid = evaluate_model_grid(doomed, redundancy=np.array([1.0, 3.0]))
+        assert math.isinf(grid.total_time[0])
+        assert bool(grid.diverged[0])
+        assert math.isfinite(grid.total_time[1])
+        assert not bool(grid.diverged[1])
+        # Matches the scalar convention exactly.
+        assert math.isinf(doomed.total_time_or_inf())
+
+    def test_total_time_grid_matches_with_helpers(self):
+        model = reference_model()
+        counts = [100, 1_000, 10_000]
+        times = total_time_grid(model, processes=np.asarray(counts, dtype=float))
+        for count, vector_time in zip(counts, times):
+            scalar_time = model.with_processes(count).total_time_or_inf()
+            assert float(vector_time) == pytest.approx(
+                scalar_time, rel=RELATIVE_TOLERANCE
+            )
+
+    def test_expected_checkpoints_property(self):
+        model = reference_model(redundancy=2.0)
+        grid = evaluate_model_grid(model)
+        result = model.evaluate()
+        assert float(grid.expected_checkpoints) == pytest.approx(
+            result.expected_checkpoints, rel=RELATIVE_TOLERANCE
+        )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_model_grid(reference_model(), shadow_nodes=np.array([1.0]))
+
+    def test_domain_validation(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_grid(0, 1.0, 1e6, 0.2, 1e3, 10.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            evaluate_grid(10, 0.5, 1e6, 0.2, 1e3, 10.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            evaluate_grid(10, 1.0, 1e6, 1.5, 1e3, 10.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            evaluate_grid(10, 1.0, 1e6, 0.2, 1e3, 10.0, 10.0, interval_rule="magic")

@@ -9,7 +9,9 @@ from repro.errors import ConfigurationError, ModelDivergence
 from repro.models import (
     CombinedModel,
     PAPER_REDUNDANCY_GRID,
+    clear_model_cache,
     find_crossover,
+    model_cache_info,
     optimal_interval,
     optimal_redundancy,
     sweep_processes,
@@ -111,6 +113,66 @@ class TestCrossovers:
         with pytest.raises(ConfigurationError):
             find_crossover(model(), 1.0, 2.0, max_processes=10, min_processes=10)
 
+    def test_min_processes_boundary_hit_exactly(self):
+        # When the high degree already wins at the search floor, the
+        # floor itself is reported — no probe below it.
+        cross = find_crossover(model(), 1.0, 2.0)
+        floor = cross.processes + 1_000
+        clamped = find_crossover(model(), 1.0, 2.0, min_processes=floor)
+        assert clamped.processes == floor
+
+    def test_crossover_found_at_max_processes_itself(self):
+        # Capping the search exactly at the true crossover still finds it.
+        cross = find_crossover(model(), 1.0, 2.0)
+        capped = find_crossover(
+            model(), 1.0, 2.0, max_processes=cross.processes
+        )
+        assert capped.processes == cross.processes
+        assert capped.high_time <= capped.low_time
+
+    def test_cap_one_below_crossover_raises(self):
+        cross = find_crossover(model(), 1.0, 2.0)
+        with pytest.raises(ModelDivergence):
+            find_crossover(
+                model(), 1.0, 2.0, max_processes=cross.processes - 1
+            )
+
+    def test_high_degree_never_winning_raises(self):
+        # Partial 2.5x pays 2.5x communication but only ceil-level spheres
+        # protect; it never beats plain 2x within the cap.
+        with pytest.raises(ModelDivergence) as excinfo:
+            find_crossover(model(), 2.0, 2.5, max_processes=50_000)
+        assert "never beats" in str(excinfo.value)
+
+
+class TestEvaluationCache:
+    def test_cache_hits_accumulate(self):
+        clear_model_cache()
+        find_crossover(model(), 1.0, 2.0)
+        first = model_cache_info()
+        find_crossover(model(), 1.0, 2.0)
+        second = model_cache_info()
+        # Re-running the same search answers entirely from the memo.
+        assert second.hits > first.hits
+        assert second.misses == first.misses
+
+    def test_cached_values_match_direct_evaluation(self):
+        clear_model_cache()
+        cross = find_crossover(model(), 1.0, 2.0)
+        direct = (
+            model()
+            .with_processes(cross.processes)
+            .with_redundancy(2.0)
+            .total_time_or_inf()
+        )
+        assert cross.high_time == direct
+
+    def test_clear_resets_statistics(self):
+        find_crossover(model(), 1.0, 2.0)
+        clear_model_cache()
+        info = model_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+
 
 class TestThroughputBreakEven:
     def test_fig14_band(self):
@@ -137,3 +199,8 @@ class TestThroughputBreakEven:
     def test_jobs_validation(self):
         with pytest.raises(ConfigurationError):
             throughput_break_even(model(), jobs=0)
+
+    def test_never_fitting_raises(self):
+        # 50 back-to-back 2x jobs can't fit in one 1x job at small scale.
+        with pytest.raises(ModelDivergence):
+            throughput_break_even(model(), jobs=50, max_processes=10_000)

@@ -1,0 +1,212 @@
+"""Tests for the parallel campaign executor.
+
+Covers worker-count resolution (argument > ``REPRO_WORKERS`` > serial),
+ordered result collection, progress marshalling, per-cell error capture,
+the serial fallback for unpicklable configs, and the determinism
+regression: a pooled campaign is bit-identical to a serial one.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orchestration import (
+    CampaignExecutionError,
+    CampaignExecutor,
+    CellSpec,
+    JobConfig,
+    resolve_workers,
+    run_failure_free_sweep,
+    run_redundancy_sweep,
+)
+from repro.orchestration.campaign import redundancy_sweep_specs
+from repro.workloads import SyntheticWorkload
+
+
+def picklable_config(**overrides):
+    """A small, picklable job config (factory is a partial, not a lambda)."""
+    params = dict(
+        workload_factory=partial(
+            SyntheticWorkload,
+            total_steps=12,
+            compute_seconds=0.02,
+            message_bytes=2048,
+        ),
+        virtual_processes=4,
+        checkpoint_interval=0.3,
+        checkpoint_cost=0.02,
+        restart_cost=0.1,
+        seed=7,
+    )
+    params.update(overrides)
+    return JobConfig(**params)
+
+
+def lambda_config(**overrides):
+    """Same job, but with an unpicklable (closure) factory."""
+    params = dict(
+        workload_factory=lambda: SyntheticWorkload(
+            total_steps=12, compute_seconds=0.02, message_bytes=2048
+        ),
+        virtual_processes=4,
+        checkpoint_interval=0.3,
+        checkpoint_cost=0.02,
+        restart_cost=0.1,
+        seed=7,
+    )
+    params.update(overrides)
+    return JobConfig(**params)
+
+
+def broken_config():
+    """Passes __post_init__ but raises at run time (derive-Daly w/o MTBF)."""
+    return picklable_config(
+        node_mtbf=None, checkpointing=True, checkpoint_interval=None
+    )
+
+
+def report_signature(report):
+    """The bit-exact comparable core of a JobReport."""
+    return (
+        report.completed,
+        report.total_time,
+        report.attempts,
+        report.failures_injected,
+        report.rollbacks,
+        report.checkpoints_committed,
+        report.time_in_checkpoints,
+        tuple(sorted(report.counters.items())),
+        report.checkpoint_interval,
+        report.physical_processes,
+        tuple((e.time, e.kind, e.detail) for e in report.timeline),
+    )
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_env_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+    def test_nonpositive_clamped_to_serial(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestSerialExecution:
+    def test_ordered_outcomes(self):
+        specs = redundancy_sweep_specs(
+            picklable_config(), node_mtbfs=[5.0, 10.0], degrees=[1.0, 2.0]
+        )
+        executor = CampaignExecutor(workers=1)
+        outcomes = executor.run(specs)
+        assert executor.last_mode == "serial"
+        assert [(o.spec.node_mtbf, o.spec.redundancy) for o in outcomes] == [
+            (5.0, 1.0), (5.0, 2.0), (10.0, 1.0), (10.0, 2.0),
+        ]
+        assert all(o.ok for o in outcomes)
+
+    def test_progress_callback_per_cell(self):
+        specs = redundancy_sweep_specs(
+            picklable_config(), node_mtbfs=[5.0], degrees=[1.0, 2.0]
+        )
+        seen = []
+        CampaignExecutor(workers=1).run(specs, progress=seen.append)
+        assert len(seen) == 2
+        assert all(o.ok for o in seen)
+
+    def test_error_captured_not_raised(self):
+        specs = [
+            CellSpec(node_mtbf=None, redundancy=1.0, config=broken_config()),
+            CellSpec(node_mtbf=None, redundancy=2.0, config=picklable_config()),
+        ]
+        outcomes = CampaignExecutor(workers=1).run(specs)
+        assert not outcomes[0].ok
+        assert outcomes[0].error_type == "ConfigurationError"
+        assert "node_mtbf" in outcomes[0].error
+        assert outcomes[1].ok  # the campaign survived the broken cell
+
+
+class TestPoolExecution:
+    def test_pool_matches_serial_bit_identical(self):
+        """Determinism regression: workers=4 == workers=1, bit for bit."""
+        base = picklable_config(node_mtbf=2.0)  # failures + rollbacks active
+        kwargs = dict(node_mtbfs=[2.0, 4.0], degrees=[1.0, 2.0])
+        serial = run_redundancy_sweep(base, workers=1, **kwargs)
+        pooled = run_redundancy_sweep(base, workers=4, **kwargs)
+        assert len(serial) == len(pooled) == 4
+        for left, right in zip(serial, pooled):
+            assert left.node_mtbf == right.node_mtbf
+            assert left.redundancy == right.redundancy
+            assert report_signature(left.report) == report_signature(right.report)
+
+    def test_pool_error_capture_keeps_campaign_alive(self):
+        specs = [
+            CellSpec(node_mtbf=None, redundancy=1.0, config=picklable_config()),
+            CellSpec(node_mtbf=None, redundancy=1.5, config=broken_config()),
+            CellSpec(node_mtbf=None, redundancy=2.0, config=picklable_config()),
+        ]
+        executor = CampaignExecutor(workers=2)
+        outcomes = executor.run(specs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error_type == "ConfigurationError"
+
+    def test_unpicklable_config_falls_back_to_serial(self):
+        specs = redundancy_sweep_specs(
+            lambda_config(), node_mtbfs=[5.0], degrees=[1.0, 2.0]
+        )
+        executor = CampaignExecutor(workers=2)
+        outcomes = executor.run(specs)
+        assert executor.last_mode == "serial"
+        assert all(o.ok for o in outcomes)
+
+    def test_single_cell_stays_serial(self):
+        specs = redundancy_sweep_specs(
+            picklable_config(), node_mtbfs=[5.0], degrees=[1.0]
+        )
+        executor = CampaignExecutor(workers=4)
+        outcomes = executor.run(specs)
+        assert executor.last_mode == "serial"
+        assert outcomes[0].ok
+
+
+class TestSweepErrorPolicy:
+    def broken_sweep_config(self):
+        # Derive-Daly checkpointing without expected_base_time: passes
+        # construction, raises once the sweep fills in node_mtbf and runs.
+        return picklable_config(checkpoint_interval=None, expected_base_time=None)
+
+    def test_strict_raises_aggregate_error(self):
+        with pytest.raises(CampaignExecutionError) as excinfo:
+            run_redundancy_sweep(
+                self.broken_sweep_config(), node_mtbfs=[5.0], degrees=[1.0, 2.0]
+            )
+        assert len(excinfo.value.failures) == 2
+
+    def test_lenient_drops_failed_cells(self):
+        cells = run_redundancy_sweep(
+            self.broken_sweep_config(),
+            node_mtbfs=[5.0],
+            degrees=[1.0, 2.0],
+            strict=False,
+        )
+        assert cells == []
+
+    def test_env_workers_used_by_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        cells = run_failure_free_sweep(picklable_config(), degrees=[1.0, 2.0])
+        assert len(cells) == 2
+        assert all(cell.report.completed for cell in cells)

@@ -57,6 +57,18 @@ class TestCommands:
         assert main([]) == 1
         assert "usage" in capsys.readouterr().out
 
+    def test_campaign_failure_free(self, capsys):
+        code = main(["campaign", "--failure-free", "degrees=(1.0, 2.0)"])
+        assert code == 0
+        output = capsys.readouterr().out
+        # Per-cell progress lines precede the rendered table.
+        assert output.count("cell mtbf=-") == 2
+        assert "Table 5" in output
+
+    def test_campaign_bad_override_reports_error(self, capsys):
+        assert main(["campaign", "oops"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestAdvise:
     def test_recommends_dual_at_scale(self, capsys):
