@@ -15,8 +15,9 @@ simulator:
 * :mod:`service` — the checkpointer "background process" of Section 5:
   a Daly-interval timer plus the cooperative capture path application
   ranks call at step boundaries;
-* :mod:`restart` — the recovery line: roll back to the last committed
-  set, restore states, count rework;
+* :mod:`restart` — the recovery lines: roll back to the newest
+  committed set, verify integrity, fall back line by line to older
+  retained sets when images are corrupt, count rework;
 * :mod:`incremental` — incremental / forked / compressed checkpointing
   variants (the Section 2 optimisation taxonomy), for ablations.
 """

@@ -1,28 +1,34 @@
 """The recovery line: what restart rolls back to.
 
-Tracks the most recent *committed* checkpoint set and rebuilds the
-per-virtual-rank workload states from stable storage.  Two read paths:
+Tracks the *committed* checkpoint sets and rebuilds the per-virtual-rank
+workload states from stable storage.  Read paths:
 
 * :meth:`read_state` — timed (charges storage I/O), used when the job
   is configured with an emergent restart cost;
 * :meth:`peek_states` — untimed, used when the experiment charges a
   fixed measured restart cost ``R`` (the paper measured R ≈ 500 s and
-  the model takes it as a parameter).
+  the model takes it as a parameter);
+* :meth:`restore_states` — the chaos-hardened restore: verifies every
+  image's CRC and falls back line by line to older retained sets when
+  the newer ones are corrupt or unreadable, charging the extra rework
+  to the job (it restarts from an older step).  Only when every
+  retained line is bad does it raise :class:`NoCheckpointError` — the
+  caller then cold-starts from step 0.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import NoCheckpointError
+from ..errors import CorruptImageError, NoCheckpointError, StorageReadError
 from .image import image_from_bytes, restore_image
 from .storage import StableStorage
 
 
 @dataclass(frozen=True)
 class RecoveryLine:
-    """Identity of the committed checkpoint to restart from."""
+    """Identity of a committed checkpoint to restart from."""
 
     set_id: str
     #: First step that still has to be (re)executed.
@@ -31,7 +37,7 @@ class RecoveryLine:
 
 
 class RestartManager:
-    """Bookkeeping around the latest committed checkpoint."""
+    """Bookkeeping around the committed checkpoint lines."""
 
     def __init__(self, storage: StableStorage) -> None:
         self.storage = storage
@@ -40,6 +46,14 @@ class RestartManager:
         self.rollbacks = 0
         #: Every recovery line ever committed, in order (job timeline).
         self.history: list = []
+        #: Recovery lines skipped because an image failed its CRC.
+        self.corrupt_lines_skipped = 0
+        #: Recovery lines skipped because storage refused a read.
+        self.unreadable_lines_skipped = 0
+        #: Depth of the line used by the most recent restore (1 = newest).
+        self.last_rollback_depth = 0
+        #: Deepest fallback any restore needed so far.
+        self.max_rollback_depth = 0
 
     # -- commit side --------------------------------------------------------
 
@@ -60,6 +74,9 @@ class RestartManager:
     @property
     def line(self) -> RecoveryLine:
         """The current recovery line.
+
+        After a fallback restore this is the (older) line actually
+        used, so rework accounting sees the true rollback target.
 
         Raises
         ------
@@ -86,10 +103,60 @@ class RestartManager:
         return restore_image(image_from_bytes(data))
 
     def peek_states(self, virtual_ranks: Sequence[int]) -> Dict[int, Any]:
-        """Untimed bulk restore (fixed-R experiments)."""
+        """Untimed bulk restore from the newest line (fixed-R experiments)."""
         states: Dict[int, Any] = {}
         for rank in virtual_ranks:
             blob = self.storage.peek(self.key_for(rank))
             blob.verify()
             states[rank] = restore_image(image_from_bytes(blob.data))
         return states
+
+    # -- chaos-hardened restore ---------------------------------------------
+
+    def retained_lines(self) -> List[RecoveryLine]:
+        """Committed lines whose sets storage still retains, newest first."""
+        retained = set(self.storage.committed_sets())
+        return [line for line in reversed(self.history) if line.set_id in retained]
+
+    def restore_states(
+        self, virtual_ranks: Sequence[int]
+    ) -> Tuple[RecoveryLine, Dict[int, Any]]:
+        """Restore every rank, falling back across retained lines.
+
+        Tries the newest retained line first; a corrupt image
+        (CRC mismatch) or an injected read failure condemns the whole
+        line — a partial restore would mix steps — and the next older
+        line is tried.  Returns the line actually used plus the
+        restored images.
+
+        Raises
+        ------
+        NoCheckpointError
+            When no line was ever committed or every retained line is
+            unusable (the job must cold-start from step 0).
+        """
+        ranks = list(virtual_ranks)
+        candidates = self.retained_lines()
+        if not candidates:
+            raise NoCheckpointError("no committed checkpoint set")
+        for depth, line in enumerate(candidates, start=1):
+            try:
+                states: Dict[int, Any] = {}
+                for rank in ranks:
+                    blob = self.storage.fetch(line.set_id, self.key_for(rank))
+                    blob.verify()
+                    states[rank] = restore_image(image_from_bytes(blob.data))
+            except CorruptImageError:
+                self.corrupt_lines_skipped += 1
+                continue
+            except (StorageReadError, NoCheckpointError):
+                self.unreadable_lines_skipped += 1
+                continue
+            self.last_rollback_depth = depth
+            self.max_rollback_depth = max(self.max_rollback_depth, depth)
+            self._line = line
+            return line, states
+        raise NoCheckpointError(
+            f"all {len(candidates)} retained recovery line(s) are corrupt "
+            "or unreadable"
+        )

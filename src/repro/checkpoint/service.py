@@ -20,6 +20,16 @@ The checkpoint path:
    replica of virtual rank 0.
 
 A failure anywhere in 1-4 leaves the previous recovery line intact.
+
+Chaos hardening: when stable storage carries an active fault model,
+step 4 retries an injected write failure with capped exponential
+backoff (abort + re-stage of this rank's image).  If a rank exhausts
+its retries, the whole set is abandoned — the ranks agree via one
+extra LOR allreduce, the committer aborts the staged set, and the
+interval is *skipped* and counted (graceful degradation; the next
+interval checkpoints normally).  None of this machinery runs when the
+fault model is absent or disabled, so the fault-free path is
+time-identical to the seed's.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StorageWriteError
 from ..mpi import ops
 from .coordinator import BookmarkCoordinator
 from .image import capture_image
@@ -64,6 +74,14 @@ class CheckpointConfig:
         meaningful with ``fixed_cost=None``.
     fork_cost:
         Pause charged to the application in forked mode.
+    max_retries:
+        How many times a rank re-stages its image after an injected
+        write failure before the set is abandoned (chaos layer only).
+    retry_backoff:
+        Initial pause before a retry; doubles per retry (capped
+        exponential backoff).
+    max_backoff:
+        Ceiling on the retry pause.
     """
 
     interval: float
@@ -72,6 +90,9 @@ class CheckpointConfig:
     quiesce_poll: float = 1e-4
     forked: bool = False
     fork_cost: float = 0.5
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    max_backoff: float = 1.0
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -88,6 +109,19 @@ class CheckpointConfig:
             raise ConfigurationError("forked mode requires an emergent cost")
         if self.fork_cost < 0:
             raise ConfigurationError(f"fork_cost must be >= 0, got {self.fork_cost}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.max_backoff < self.retry_backoff:
+            raise ConfigurationError(
+                "max_backoff must be >= retry_backoff "
+                f"({self.max_backoff} < {self.retry_backoff})"
+            )
 
 
 class CheckpointService:
@@ -109,8 +143,16 @@ class CheckpointService:
         self._participants = 0
         self.checkpoints_taken = 0
         self.time_in_checkpoints = 0.0
+        #: Intervals abandoned after retry exhaustion (graceful degradation).
+        self.checkpoints_skipped = 0
+        #: Successful re-stages after an injected write failure.
+        self.checkpoint_retries = 0
+        #: Injected write failures observed (before retry).
+        self.checkpoint_write_failures = 0
         self._coordinator = BookmarkCoordinator(runtime, config.quiesce_poll)
         self._forked_writes = {}
+        #: Forked sets whose background write ultimately failed.
+        self._failed_forked = set()
 
     # -- injector interface ---------------------------------------------------
 
@@ -157,44 +199,144 @@ class CheckpointService:
             set_id = f"step{step + 1}"
             image = capture_image({"step": step + 1, "state": workload.state()})
             key = RestartManager.key_for(comm.rank)
+            chaos = self.storage.faults_active
+            rank_failed = False
             if self.config.fixed_cost is not None:
-                self.storage.stage_untimed(set_id, key, image.data)
-                yield self.env.timeout(self.config.fixed_cost)
+                if chaos:
+                    rank_failed = yield from self._persist_with_retry(
+                        set_id, key, image, timed=False
+                    )
+                else:
+                    self.storage.stage_untimed(set_id, key, image.data)
+                    yield self.env.timeout(self.config.fixed_cost)
             elif self.config.forked:
                 # Forked checkpointing: the application resumes after the
                 # fork pause; the image write drains in the background.
                 yield self.env.timeout(self.config.fork_cost)
-                writer = self.env.process(
-                    self.storage.write(set_id, key, image.data),
-                    name=f"forked-ckpt-{key}",
+                writer_body = (
+                    self._guarded_forked_write(set_id, key, image.data)
+                    if chaos
+                    else self.storage.write(set_id, key, image.data)
                 )
+                writer = self.env.process(writer_body, name=f"forked-ckpt-{key}")
                 self._forked_writes.setdefault(set_id, []).append(writer)
             else:
-                yield from self.storage.write(set_id, key, image.data)
+                if chaos:
+                    rank_failed = yield from self._persist_with_retry(
+                        set_id, key, image, timed=True
+                    )
+                else:
+                    yield from self.storage.write(set_id, key, image.data)
+
+            if chaos:
+                # One extra LOR round: every rank must agree the set is
+                # complete before anyone commits it.  Only runs under an
+                # active fault model, so the fault-free path keeps the
+                # seed's exact message count and timing.
+                set_failed = bool(
+                    (yield from comm.allreduce(int(rank_failed), ops.LOR))
+                )
+            else:
+                set_failed = False
 
             yield from comm.barrier()
             if self._is_committer(comm):
-                self.checkpoints_taken += 1
-                writers = self._forked_writes.pop(set_id, None)
-                if writers:
-                    # Commit only once every background write has landed;
-                    # the application does not wait for this.
-                    self.env.process(
-                        self._commit_after(writers, set_id, step),
-                        name=f"commit-{set_id}",
-                    )
+                if set_failed:
+                    # Graceful degradation: abandon the partial set and
+                    # skip this interval; the previous recovery line
+                    # stays intact and the next interval retries.
+                    self.checkpoints_skipped += 1
+                    self.storage.abort_set(set_id)
                 else:
-                    self.restart_manager.note_commit(set_id, step + 1, self.env.now)
+                    self.checkpoints_taken += 1
+                    writers = self._forked_writes.pop(set_id, None)
+                    if writers:
+                        # Commit only once every background write has landed;
+                        # the application does not wait for this.
+                        self.env.process(
+                            self._commit_after(writers, set_id, step),
+                            name=f"commit-{set_id}",
+                        )
+                    else:
+                        self.restart_manager.note_commit(set_id, step + 1, self.env.now)
             self._last_checkpoint = self.env.now
         finally:
             self._participants -= 1
             self.time_in_checkpoints += self.env.now - started
+
+    def _persist_with_retry(self, set_id: str, key: str, image, timed: bool):
+        """Generator: persist one rank's image, retrying injected failures.
+
+        Re-stages this rank's blob with capped exponential backoff; a
+        write under the same (set, key) simply replaces the staged
+        blob, so no explicit per-key abort is needed.  Returns ``True``
+        when the rank exhausted its retries — the caller then abandons
+        the whole set via the collective verdict + ``abort_set``.
+        """
+        cfg = self.config
+        backoff = cfg.retry_backoff
+        for attempt in range(cfg.max_retries + 1):
+            persisted = True
+            if timed:
+                try:
+                    yield from self.storage.write(set_id, key, image.data)
+                except StorageWriteError:
+                    persisted = False
+                    self.checkpoint_write_failures += 1
+            else:
+                try:
+                    self.storage.stage_untimed(set_id, key, image.data)
+                except StorageWriteError:
+                    persisted = False
+                    self.checkpoint_write_failures += 1
+                # The pause is paid either way: the failure surfaces at
+                # the end of the write, not before it starts.
+                yield self.env.timeout(cfg.fixed_cost)
+            if persisted:
+                return False
+            if attempt >= cfg.max_retries:
+                return True
+            self.checkpoint_retries += 1
+            if backoff > 0.0:
+                yield self.env.timeout(backoff)
+            backoff = min(backoff * 2.0, cfg.max_backoff)
+        return True  # pragma: no cover - loop always returns earlier
+
+    def _guarded_forked_write(self, set_id: str, key: str, data: bytes):
+        """Generator: background forked write with the same retry policy.
+
+        A background writer that raised would tear down the simulation;
+        instead exhaustion marks the set failed so :meth:`_commit_after`
+        abandons it.
+        """
+        cfg = self.config
+        backoff = cfg.retry_backoff
+        for attempt in range(cfg.max_retries + 1):
+            try:
+                yield from self.storage.write(set_id, key, data)
+                return
+            except StorageWriteError:
+                self.checkpoint_write_failures += 1
+                if attempt >= cfg.max_retries:
+                    self._failed_forked.add(set_id)
+                    return
+                self.checkpoint_retries += 1
+                if backoff > 0.0:
+                    yield self.env.timeout(backoff)
+                backoff = min(backoff * 2.0, cfg.max_backoff)
 
     def _commit_after(self, writers, set_id: str, step: int):
         """Generator: commit the set once all forked writers finish."""
         from ..simkit.events import AllOf
 
         yield AllOf(self.env, writers)
+        if set_id in self._failed_forked:
+            # At least one background writer exhausted its retries:
+            # abandon the set; the previous recovery line stands.
+            self._failed_forked.discard(set_id)
+            self.checkpoints_skipped += 1
+            self.storage.abort_set(set_id)
+            return
         self.restart_manager.note_commit(set_id, step + 1, self.env.now)
 
     def _is_committer(self, comm) -> bool:

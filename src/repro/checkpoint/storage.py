@@ -7,17 +7,39 @@ grows with the number of simultaneously-writing processes, one of the
 scale effects behind Table 2's exploding checkpoint share).
 
 Write sets are two-phase: images are *staged* under a set id and become
-the recovery line only at :meth:`commit_set`.  A crash between staging
-and commit leaves the previous committed set intact.
+the newest recovery line only at :meth:`commit_set`.  A crash between
+staging and commit leaves the previous committed set intact.
+
+Two hardening layers on top of the seed's model:
+
+* **Versioned recovery lines** — the last ``keep_sets`` committed sets
+  are retained (newest last) instead of overwritten, so restart can
+  fall back line by line when the newest images turn out corrupt.
+* **Fault injection** — an optional
+  :class:`~repro.faults.storage_faults.StorageFaultModel` decides, per
+  operation, whether a write fails (:class:`StorageWriteError`), a read
+  fails (:class:`StorageReadError`), a blob is silently damaged at rest
+  (surfaces as :class:`CorruptImageError` on verification) or the
+  operation pays a latency spike.  With no model — or a model whose
+  probabilities are all zero — every path below is byte- and
+  time-identical to the unhardened storage.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..errors import CheckpointError, ConfigurationError, CorruptImageError, NoCheckpointError
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    CorruptImageError,
+    NoCheckpointError,
+    StorageReadError,
+    StorageWriteError,
+)
+from ..faults.storage_faults import StorageFaultModel
 from ..simkit import Environment, Resource
 
 
@@ -37,7 +59,7 @@ class StoredBlob:
 
 
 class StableStorage:
-    """Bandwidth/latency/contention model plus a blob store.
+    """Bandwidth/latency/contention model plus a versioned blob store.
 
     Parameters
     ----------
@@ -49,6 +71,12 @@ class StableStorage:
         Fixed seconds per operation (metadata round trip).
     channels:
         Concurrent I/O streams; further operations queue FIFO.
+    faults:
+        Optional storage fault model (chaos layer).  ``None`` — or a
+        model with all probabilities zero — makes every operation
+        behave exactly as the fault-free storage.
+    keep_sets:
+        How many committed sets to retain as fallback recovery lines.
     """
 
     def __init__(
@@ -58,33 +86,88 @@ class StableStorage:
         read_bandwidth: float = 2e9,
         latency: float = 1e-3,
         channels: int = 8,
+        faults: Optional[StorageFaultModel] = None,
+        keep_sets: int = 3,
     ) -> None:
         if write_bandwidth <= 0 or read_bandwidth <= 0:
             raise ConfigurationError("bandwidths must be > 0")
         if latency < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        if keep_sets < 1:
+            raise ConfigurationError(f"keep_sets must be >= 1, got {keep_sets}")
         self.env = env
         self.write_bandwidth = write_bandwidth
         self.read_bandwidth = read_bandwidth
         self.latency = latency
+        self.keep_sets = keep_sets
+        self.faults = faults
         self._channels = Resource(env, capacity=channels)
         self._staged: Dict[str, Dict[str, StoredBlob]] = {}
-        self._committed: Dict[str, StoredBlob] = {}
-        self._committed_set: Optional[str] = None
+        #: Committed sets, oldest first, newest last; bounded by keep_sets.
+        self._history: List[Tuple[str, Dict[str, StoredBlob]]] = []
         self.bytes_written = 0
         self.bytes_read = 0
+
+    # -- fault plumbing -----------------------------------------------------
+
+    @property
+    def faults_active(self) -> bool:
+        """True when the chaos layer can actually inject something."""
+        return self.faults is not None and self.faults.enabled
+
+    def _store(self, set_id: str, key: str, data: bytes) -> None:
+        """Stage a blob, applying write-fault decisions (if any)."""
+        crc = zlib.crc32(data)
+        if self.faults_active:
+            verdict = self.faults.on_write()
+            if verdict.fail:
+                raise StorageWriteError(
+                    f"write of blob {key!r} in set {set_id!r} failed"
+                )
+            if verdict.corrupt:
+                # At-rest corruption: the payload is damaged but the
+                # recorded CRC keeps the pristine value — the rot is
+                # silent until read-back verification.
+                data = self.faults.damage(data)
+        blob = StoredBlob(key=key, data=data, crc=crc, written_at=self.env.now)
+        self._staged.setdefault(set_id, {})[key] = blob
+        self.bytes_written += len(data)
 
     # -- timed operations ---------------------------------------------------
 
     def write(self, set_id: str, key: str, data: bytes):
-        """Generator: stage ``data`` under (set_id, key), charging I/O time."""
+        """Generator: stage ``data`` under (set_id, key), charging I/O time.
+
+        With a fault model attached, a latency spike extends the
+        transfer and a write failure raises :class:`StorageWriteError`
+        *after* the I/O time is charged (the writer discovers the
+        failure at the end of the transfer, as with a failed fsync).
+        """
         grant = self._channels.request()
         yield grant
         try:
             yield self.env.timeout(self.latency + len(data) / self.write_bandwidth)
-            blob = StoredBlob(
-                key=key, data=data, crc=zlib.crc32(data), written_at=self.env.now
-            )
+            if self.faults_active:
+                verdict = self.faults.on_write()
+                if verdict.extra_latency > 0.0:
+                    yield self.env.timeout(verdict.extra_latency)
+                if verdict.fail:
+                    raise StorageWriteError(
+                        f"write of blob {key!r} in set {set_id!r} failed"
+                    )
+                payload = (
+                    self.faults.damage(data) if verdict.corrupt else data
+                )
+                blob = StoredBlob(
+                    key=key,
+                    data=payload,
+                    crc=zlib.crc32(data),
+                    written_at=self.env.now,
+                )
+            else:
+                blob = StoredBlob(
+                    key=key, data=data, crc=zlib.crc32(data), written_at=self.env.now
+                )
             self._staged.setdefault(set_id, {})[key] = blob
             self.bytes_written += len(data)
         finally:
@@ -96,22 +179,36 @@ class StableStorage:
         Used when the experiment charges a *fixed* checkpoint cost
         (the paper's measured c = 120 s) instead of the emergent
         storage time, but the images must still exist for restart.
+        Fault decisions (write failure, at-rest corruption) still
+        apply; latency spikes do not — the path is untimed.
         """
-        blob = StoredBlob(
-            key=key, data=data, crc=zlib.crc32(data), written_at=self.env.now
-        )
-        self._staged.setdefault(set_id, {})[key] = blob
-        self.bytes_written += len(data)
+        self._store(set_id, key, data)
 
     def read(self, key: str):
-        """Generator: read a committed blob, charging I/O time."""
-        blob = self._committed.get(key)
-        if blob is None:
-            raise NoCheckpointError(f"no committed blob {key!r}")
+        """Generator: read a blob from the newest committed set, charging I/O time."""
+        return (yield from self.read_from(self.committed_set, key))
+
+    def read_from(self, set_id: Optional[str], key: str):
+        """Generator: timed read of ``key`` from a specific committed set.
+
+        With a fault model attached, a latency spike extends the
+        transfer and a read failure raises :class:`StorageReadError`.
+        Integrity is always verified — at-rest corruption surfaces here
+        as :class:`CorruptImageError`.
+        """
+        blob = self._committed_blob(set_id, key)
         grant = self._channels.request()
         yield grant
         try:
             yield self.env.timeout(self.latency + len(blob.data) / self.read_bandwidth)
+            if self.faults_active:
+                verdict = self.faults.on_read()
+                if verdict.extra_latency > 0.0:
+                    yield self.env.timeout(verdict.extra_latency)
+                if verdict.fail:
+                    raise StorageReadError(
+                        f"read of blob {key!r} from set {set_id!r} failed"
+                    )
             self.bytes_read += len(blob.data)
         finally:
             self._channels.release()
@@ -121,12 +218,17 @@ class StableStorage:
     # -- set lifecycle ------------------------------------------------------
 
     def commit_set(self, set_id: str) -> None:
-        """Atomically promote a staged set to the committed recovery line."""
+        """Atomically promote a staged set to the newest recovery line.
+
+        Older committed sets are retained (up to ``keep_sets``) as
+        fallback lines for restart.
+        """
         staged = self._staged.pop(set_id, None)
         if not staged:
             raise CheckpointError(f"no staged blobs under set {set_id!r}")
-        self._committed = staged
-        self._committed_set = set_id
+        self._history.append((set_id, staged))
+        while len(self._history) > self.keep_sets:
+            self._history.pop(0)
 
     def abort_set(self, set_id: str) -> None:
         """Discard a staged set (failure mid-checkpoint)."""
@@ -134,25 +236,67 @@ class StableStorage:
 
     @property
     def committed_set(self) -> Optional[str]:
-        """Id of the current recovery line (None before first commit)."""
-        return self._committed_set
+        """Id of the newest recovery line (None before first commit)."""
+        if not self._history:
+            return None
+        return self._history[-1][0]
 
-    def committed_keys(self):
-        """Keys available in the committed set."""
-        return sorted(self._committed)
+    def committed_sets(self) -> List[str]:
+        """Ids of every retained recovery line, newest first."""
+        return [set_id for set_id, _ in reversed(self._history)]
+
+    def committed_keys(self, set_id: Optional[str] = None) -> List[str]:
+        """Keys available in a committed set (default: the newest)."""
+        return sorted(self._set_blobs(set_id))
+
+    # -- untimed access -----------------------------------------------------
 
     def peek(self, key: str) -> StoredBlob:
-        """Direct (untimed) access to a committed blob — test/debug hook."""
-        blob = self._committed.get(key)
-        if blob is None:
-            raise NoCheckpointError(f"no committed blob {key!r}")
+        """Direct (untimed, fault-free) access to a newest-set blob."""
+        return self._committed_blob(None, key)
+
+    def fetch(self, set_id: Optional[str], key: str) -> StoredBlob:
+        """Untimed but fault-*aware* access to a committed blob.
+
+        The fixed-cost restart path (the paper's measured R) uses this:
+        the I/O time is charged as a lump sum elsewhere, but the fault
+        model still decides whether the read succeeds.  Raises
+        :class:`StorageReadError` on an injected read failure; callers
+        verify the returned blob's integrity themselves.
+        """
+        blob = self._committed_blob(set_id, key)
+        if self.faults_active and self.faults.on_read().fail:
+            raise StorageReadError(
+                f"read of blob {key!r} from set {set_id!r} failed"
+            )
         return blob
 
-    def corrupt(self, key: str) -> None:
+    def corrupt(self, key: str, set_id: Optional[str] = None) -> None:
         """Flip a byte of a committed blob — failure-injection test hook."""
-        blob = self.peek(key)
+        blob = self._committed_blob(set_id, key)
         if not blob.data:
             raise CheckpointError(f"blob {key!r} is empty; nothing to corrupt")
         damaged = bytearray(blob.data)
         damaged[0] ^= 0xFF
         blob.data = bytes(damaged)
+
+    # -- internals ----------------------------------------------------------
+
+    def _set_blobs(self, set_id: Optional[str]) -> Dict[str, StoredBlob]:
+        """The blob mapping of a retained set (default: the newest)."""
+        if not self._history:
+            if set_id is None:
+                return {}
+            raise NoCheckpointError(f"no committed set {set_id!r}")
+        if set_id is None:
+            return self._history[-1][1]
+        for candidate, blobs in reversed(self._history):
+            if candidate == set_id:
+                return blobs
+        raise NoCheckpointError(f"no committed set {set_id!r}")
+
+    def _committed_blob(self, set_id: Optional[str], key: str) -> StoredBlob:
+        blob = self._set_blobs(set_id).get(key)
+        if blob is None:
+            raise NoCheckpointError(f"no committed blob {key!r}")
+        return blob

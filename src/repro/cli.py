@@ -8,6 +8,7 @@ Usage::
     repro-exp run table4 quick=true workers=4   # reduced grid, 4 workers
     repro-exp campaign --quick --workers 4      # Table 4 grid with progress
     repro-exp campaign --failure-free           # Table 5 sweep
+    repro-exp chaos --quick --workers 4         # storage-fault sweep
     repro-exp advise --processes 50000 --mtbf 5y --base-time 128h \
                --alpha 0.2 --checkpoint-cost 8min --restart-cost 12min
 
@@ -53,6 +54,24 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
     return overrides
 
 
+def _add_pool_hardening_flags(subparser: argparse.ArgumentParser) -> None:
+    """Self-healing executor knobs shared by the sweep subcommands."""
+    subparser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds one grid cell may run in a worker "
+        "(default: REPRO_CELL_TIMEOUT env, else unlimited; pool mode only)",
+    )
+    subparser.add_argument(
+        "--cell-retries",
+        type=int,
+        default=None,
+        help="resubmissions per cell lost to a broken worker pool "
+        "(default: REPRO_CELL_RETRIES env, else 2)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -91,7 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the Table 5 failure-free sweep instead of the Table 4 grid",
     )
+    _add_pool_hardening_flags(campaign)
     campaign.add_argument(
+        "overrides",
+        nargs="*",
+        help="extra experiment parameter overrides as key=value",
+    )
+    chaos = commands.add_parser(
+        "chaos",
+        help="sweep completion time vs injected storage-fault probability",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: REPRO_WORKERS env, "
+        "else serial)",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced probability grid (0, 0.1, 0.3)",
+    )
+    _add_pool_hardening_flags(chaos)
+    chaos.add_argument(
         "overrides",
         nargs="*",
         help="extra experiment parameter overrides as key=value",
@@ -150,6 +192,12 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "chaos":
+        try:
+            return _chaos(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "advise":
         try:
             print(_advise(args))
@@ -177,7 +225,38 @@ def _campaign(args) -> int:
         )
 
     result = run_experiment(
-        experiment, workers=args.workers, progress=progress, **overrides
+        experiment,
+        workers=args.workers,
+        progress=progress,
+        cell_timeout=args.cell_timeout,
+        cell_retries=args.cell_retries,
+        **overrides,
+    )
+    print(result.render())
+    return 0
+
+
+def _chaos(args) -> int:
+    """Run the storage-fault chaos sweep with live progress."""
+    overrides = _parse_overrides(args.overrides)
+    if args.quick:
+        overrides.setdefault("quick", True)
+
+    def progress(outcome) -> None:
+        status = (
+            f"{outcome.report.total_time:.3f} s"
+            if outcome.ok
+            else f"FAILED ({outcome.error_type})"
+        )
+        print(f"  cell p={outcome.spec.redundancy:g}: {status}", flush=True)
+
+    result = run_experiment(
+        "chaos",
+        workers=args.workers,
+        progress=progress,
+        cell_timeout=args.cell_timeout,
+        cell_retries=args.cell_retries,
+        **overrides,
     )
     print(result.render())
     return 0

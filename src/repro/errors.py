@@ -141,6 +141,24 @@ class CorruptImageError(CheckpointError):
     """A stored process image failed its integrity check on read-back."""
 
 
+class TransientStorageError(CheckpointError):
+    """Base class for injected stable-storage faults.
+
+    Transient in the sense of the fault model: the *operation* failed,
+    not the device — retrying the same operation may succeed.  Raised
+    only when a :class:`~repro.faults.storage_faults.StorageFaultModel`
+    is wired into :class:`~repro.checkpoint.storage.StableStorage`.
+    """
+
+
+class StorageWriteError(TransientStorageError):
+    """A stable-storage write was rejected by the fault model."""
+
+
+class StorageReadError(TransientStorageError):
+    """A stable-storage read was rejected by the fault model."""
+
+
 class CoordinationError(CheckpointError):
     """The coordinated-checkpoint protocol could not quiesce channels."""
 

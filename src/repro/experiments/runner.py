@@ -22,6 +22,7 @@ _REGISTRY = {
     "fig12": "fig12",
     "fig13": "fig13",
     "fig14": "fig14",
+    "chaos": "chaos",
 }
 
 

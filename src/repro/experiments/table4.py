@@ -116,6 +116,8 @@ def run(
     quick: bool = False,
     progress=None,
     workers: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the campaign grid and render the Table 4 matrix.
 
@@ -135,6 +137,8 @@ def run(
         degrees=list(degrees),
         progress=progress,
         workers=workers,
+        cell_timeout=cell_timeout,
+        cell_retries=cell_retries,
     )
     matrix = cells_to_matrix(cells)
     rows = []

@@ -31,6 +31,8 @@ def run(
     alpha: float = 0.2,
     workers: Optional[int] = None,
     progress=None,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the failure-free sweep and compare to the linear expectation.
 
@@ -40,7 +42,12 @@ def run(
     setup = setup or ScaledSetup()
     base = setup.job_config()
     cells = run_failure_free_sweep(
-        base, degrees=list(degrees), workers=workers, progress=progress
+        base,
+        degrees=list(degrees),
+        workers=workers,
+        progress=progress,
+        cell_timeout=cell_timeout,
+        cell_retries=cell_retries,
     )
     observed = {cell.redundancy: cell.report.total_time for cell in cells}
     base_time = observed[1.0]

@@ -7,11 +7,21 @@ model assumption 3); when a process's time comes it is fail-stopped in
 the current MPI world.  Whether failures may strike *during*
 checkpoint/restart phases is configurable — the paper's experiments
 suppress them (Section 6, observation 5), its full model does not.
+
+:mod:`storage_faults` extends injection to the fault-tolerance
+machinery itself: seeded write failures, read failures, at-rest bit
+corruption and latency spikes for stable storage (the chaos layer).
 """
 
 from .distributions import Exponential, LogNormal, Weibull
 from .injector import FailureInjector, FailureRecord, exponential_injector
 from .detector import FailureDetector
+from .storage_faults import (
+    ReadVerdict,
+    StorageFaultConfig,
+    StorageFaultModel,
+    WriteVerdict,
+)
 
 __all__ = [
     "Exponential",
@@ -19,6 +29,10 @@ __all__ = [
     "FailureInjector",
     "FailureRecord",
     "LogNormal",
+    "ReadVerdict",
+    "StorageFaultConfig",
+    "StorageFaultModel",
     "Weibull",
+    "WriteVerdict",
     "exponential_injector",
 ]

@@ -21,6 +21,8 @@ from .executor import (
     CampaignExecutor,
     CellOutcome,
     CellSpec,
+    resolve_cell_retries,
+    resolve_cell_timeout,
     resolve_workers,
 )
 
@@ -33,6 +35,8 @@ __all__ = [
     "JobConfig",
     "JobReport",
     "ResilientJob",
+    "resolve_cell_retries",
+    "resolve_cell_timeout",
     "resolve_workers",
     "run_failure_free_sweep",
     "run_redundancy_sweep",

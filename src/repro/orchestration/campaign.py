@@ -59,6 +59,8 @@ def _run_specs(
     progress: Optional[Callable[[CampaignCell], None]],
     workers: Optional[int],
     strict: bool,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> List[CampaignCell]:
     """Execute specs and convert outcomes, enforcing error policy.
 
@@ -72,7 +74,9 @@ def _run_specs(
         if progress is not None and outcome.ok:
             progress(_cell_from(outcome))
 
-    executor = CampaignExecutor(workers=workers)
+    executor = CampaignExecutor(
+        workers=workers, cell_timeout=cell_timeout, cell_retries=cell_retries
+    )
     outcomes = executor.run(specs, progress=on_outcome)
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures and strict:
@@ -115,6 +119,8 @@ def run_redundancy_sweep(
     progress: Optional[Callable[[CampaignCell], None]] = None,
     workers: Optional[int] = None,
     strict: bool = True,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> List[CampaignCell]:
     """The Table 4 grid: completion time per (MTBF, redundancy) cell.
 
@@ -122,9 +128,11 @@ def run_redundancy_sweep(
     ``redundancy`` and the seed changed.  ``workers`` (default: the
     ``REPRO_WORKERS`` env var, else serial) selects the process-pool
     fan-out; results are identical and ordered either way.
+    ``cell_timeout``/``cell_retries`` bound wall-clock per cell and
+    broken-pool resubmissions (pool mode only).
     """
     specs = redundancy_sweep_specs(base, node_mtbfs, degrees, seed_offset)
-    return _run_specs(specs, progress, workers, strict)
+    return _run_specs(specs, progress, workers, strict, cell_timeout, cell_retries)
 
 
 def failure_free_sweep_specs(
@@ -152,6 +160,8 @@ def run_failure_free_sweep(
     progress: Optional[Callable[[CampaignCell], None]] = None,
     workers: Optional[int] = None,
     strict: bool = True,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> List[CampaignCell]:
     """The Table 5 sweep: failure-free execution time vs redundancy.
 
@@ -159,7 +169,7 @@ def run_failure_free_sweep(
     the pure redundancy overhead (Figure 10's super-linear curve).
     """
     specs = failure_free_sweep_specs(base, degrees)
-    return _run_specs(specs, progress, workers, strict)
+    return _run_specs(specs, progress, workers, strict, cell_timeout, cell_retries)
 
 
 def cells_to_matrix(

@@ -19,6 +19,22 @@ serial semantics:
   a single cell, unpicklable configs, a sandbox without process support)
   silently drops to the serial path.
 
+Self-healing (the chaos-hardening layer):
+
+* **completeness** — every spec produces exactly one outcome, always;
+  a cell the pool lost is synthesized as a failed outcome, never
+  silently dropped;
+* **broken-pool recovery** — a worker dying mid-campaign
+  (``BrokenProcessPool``) no longer kills the sweep: completed results
+  are kept, not-yet-completed cells are resubmitted to a *fresh* pool
+  (up to ``cell_retries`` times per cell and ``MAX_POOL_REBUILDS``
+  rebuilds overall) before any cell is declared lost;
+* **per-cell wall-clock timeouts** — ``cell_timeout`` (or the
+  ``REPRO_CELL_TIMEOUT`` env var) bounds how long one cell may run in
+  a worker; an overdue cell is recorded as a failed outcome, its
+  worker is terminated and the survivors move to a fresh pool.
+  Timeouts apply only under pooling (the serial path cannot preempt).
+
 Worker count resolution order: explicit argument, then the
 ``REPRO_WORKERS`` environment variable, then serial (1).
 """
@@ -27,15 +43,23 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ReproError
 from .job import JobConfig, JobReport, ResilientJob
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable: per-cell wall-clock timeout in seconds.
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: Environment variable: resubmissions allowed per cell lost to a
+#: broken pool.
+CELL_RETRIES_ENV = "REPRO_CELL_RETRIES"
 
 
 class CampaignExecutionError(ReproError):
@@ -98,6 +122,44 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, int(workers))
 
 
+def resolve_cell_timeout(cell_timeout: Optional[float] = None) -> Optional[float]:
+    """Resolve the per-cell timeout: argument > env > None (no timeout)."""
+    if cell_timeout is None:
+        raw = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            cell_timeout = float(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{CELL_TIMEOUT_ENV} must be a number, got {raw!r}"
+            ) from exc
+    if cell_timeout <= 0:
+        raise ConfigurationError(
+            f"cell timeout must be > 0, got {cell_timeout}"
+        )
+    return float(cell_timeout)
+
+
+def resolve_cell_retries(cell_retries: Optional[int] = None) -> int:
+    """Resolve the lost-cell retry cap: argument > env > 2."""
+    if cell_retries is None:
+        raw = os.environ.get(CELL_RETRIES_ENV, "").strip()
+        if not raw:
+            return 2
+        try:
+            cell_retries = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{CELL_RETRIES_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    if cell_retries < 0:
+        raise ConfigurationError(
+            f"cell retries must be >= 0, got {cell_retries}"
+        )
+    return int(cell_retries)
+
+
 def _execute_spec(spec: CellSpec) -> Tuple[Optional[JobReport], Optional[str], Optional[str]]:
     """Run one cell, capturing any error as data (worker-side).
 
@@ -112,19 +174,44 @@ def _execute_spec(spec: CellSpec) -> Tuple[Optional[JobReport], Optional[str], O
 
 
 class CampaignExecutor:
-    """Run cell specs serially or across a process pool.
+    """Run cell specs serially or across a self-healing process pool.
 
     Parameters
     ----------
     workers:
         Worker processes to use.  ``None`` consults ``REPRO_WORKERS``;
         ``<= 1`` runs serially in-process.
+    cell_timeout:
+        Wall-clock seconds one cell may spend in a worker before it is
+        declared failed.  ``None`` consults ``REPRO_CELL_TIMEOUT``;
+        unset means no timeout.  Pool mode only.
+    cell_retries:
+        How many times a cell lost to a broken pool is resubmitted
+        before being synthesized as a failed outcome.  ``None``
+        consults ``REPRO_CELL_RETRIES``; default 2.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    #: Fresh pools built after breakage before the remaining cells are
+    #: declared lost (a poison cell would otherwise rebuild forever).
+    MAX_POOL_REBUILDS = 3
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        cell_retries: Optional[int] = None,
+    ) -> None:
         self.workers = resolve_workers(workers)
+        self.cell_timeout = resolve_cell_timeout(cell_timeout)
+        self.cell_retries = resolve_cell_retries(cell_retries)
         #: How the last :meth:`run` actually executed ("serial"/"process").
         self.last_mode: Optional[str] = None
+        #: Broken-pool events survived during the last :meth:`run`.
+        self.pool_breakages = 0
+        #: Cells resubmitted to a fresh pool during the last :meth:`run`.
+        self.cells_resubmitted = 0
+        #: Cells failed by the wall-clock timeout during the last run.
+        self.cells_timed_out = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -135,19 +222,27 @@ class CampaignExecutor:
     ) -> List[CellOutcome]:
         """Execute every spec; outcomes are returned in spec order.
 
-        ``progress`` is invoked in the calling process once per cell as
-        it completes (completion order under pooling).
+        Exactly one outcome per spec, always — cells the pool lost come
+        back as failed outcomes rather than disappearing.  ``progress``
+        is invoked in the calling process once per cell as it completes
+        (completion order under pooling).
         """
         specs = list(specs)
+        self.pool_breakages = 0
+        self.cells_resubmitted = 0
+        self.cells_timed_out = 0
         if not specs:
             return []
         if self.workers <= 1 or len(specs) == 1 or not self._poolable(specs):
             return self._run_serial(specs, progress)
         try:
             return self._run_pool(specs, progress)
-        except (OSError, PermissionError, ImportError):
-            # Pool could not be created (restricted environment); the
-            # cells themselves are untouched, so serial is equivalent.
+        except (OSError, PermissionError, ImportError, BrokenProcessPool):
+            # Pool could not be created or broke beyond repair —
+            # BrokenProcessPool is a RuntimeError subclass, so it must
+            # be caught explicitly (a pool whose creation half-succeeds
+            # surfaces it here rather than OSError).  The cells
+            # themselves are untouched, so serial is equivalent.
             self.last_mode = "serial-fallback"
             return self._run_serial(specs, progress)
 
@@ -186,26 +281,185 @@ class CampaignExecutor:
         progress: Optional[Callable[[CellOutcome], None]],
     ) -> List[CellOutcome]:
         self.last_mode = "process"
-        workers = min(self.workers, len(specs))
-        outcomes: List[Optional[CellOutcome]] = [None] * len(specs)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(_execute_spec, spec): index
-                for index, spec in enumerate(specs)
-            }
+        total = len(specs)
+        outcomes: List[Optional[CellOutcome]] = [None] * total
+        lost_counts = [0] * total
+        todo = list(range(total))
+        rebuilds = 0
+        while todo:
+            try:
+                resubmit = self._drain_pool(specs, todo, outcomes, progress)
+            except BrokenProcessPool as breakage:
+                self.pool_breakages += 1
+                rebuilds += 1
+                if rebuilds == 1 and not any(outcomes):
+                    # Nothing ever completed: the pool likely never
+                    # worked at all (creation half-succeeded).  Let the
+                    # caller fall back to the serial path wholesale.
+                    raise
+                survivors = []
+                for index in todo:
+                    if outcomes[index] is not None:
+                        continue
+                    lost_counts[index] += 1
+                    exhausted = (
+                        lost_counts[index] > self.cell_retries
+                        or rebuilds > self.MAX_POOL_REBUILDS
+                    )
+                    if exhausted:
+                        outcomes[index] = self._lost_outcome(
+                            specs[index], breakage, lost_counts[index]
+                        )
+                        if progress is not None:
+                            progress(outcomes[index])
+                    else:
+                        survivors.append(index)
+                self.cells_resubmitted += len(survivors)
+                todo = survivors
+                continue
+            # Timeout rebuild: overdue cells already have outcomes; the
+            # rest move to a fresh pool (their workers were reclaimed).
+            todo = resubmit
+        # Completeness invariant: exactly one outcome per spec.  A None
+        # here would mean a cell was silently dropped — synthesize a
+        # failure loudly instead of truncating the result list.
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:  # pragma: no cover - defensive backstop
+                outcomes[index] = CellOutcome(
+                    spec=specs[index],
+                    error_type="LostCell",
+                    error="cell produced no outcome (executor bug backstop)",
+                )
+        assert len(outcomes) == total
+        return list(outcomes)
+
+    def _drain_pool(
+        self,
+        specs: Sequence[CellSpec],
+        indices: Sequence[int],
+        outcomes: List[Optional[CellOutcome]],
+        progress: Optional[Callable[[CellOutcome], None]],
+    ) -> List[int]:
+        """One pool round over ``indices``, filling ``outcomes`` in place.
+
+        Cells are fed to the pool in a window of ``workers`` so every
+        submitted future is actually running — which is what makes the
+        wall-clock deadline per cell meaningful.  Returns indices that
+        must be resubmitted to a fresh pool (after a timeout reclaimed
+        this pool's workers); raises ``BrokenProcessPool`` when a worker
+        died (the caller heals).
+        """
+        workers = min(self.workers, len(indices))
+        queue = deque(indices)
+        pending: Dict[object, int] = {}
+        deadlines: Dict[object, float] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        abandoned = False
+        try:
+            def fill() -> None:
+                while queue and len(pending) < workers:
+                    index = queue.popleft()
+                    future = pool.submit(_execute_spec, specs[index])
+                    pending[future] = index
+                    if self.cell_timeout is not None:
+                        deadlines[future] = time.monotonic() + self.cell_timeout
+
+            fill()
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    pending,
+                    timeout=self._wait_budget(deadlines),
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
                     index = pending.pop(future)
-                    spec = specs[index]
+                    deadlines.pop(future, None)
                     try:
                         report, error_type, error = future.result()
-                    except Exception as exc:  # worker died / result unpicklable
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:  # result unpicklable etc.
                         report, error_type, error = None, type(exc).__name__, str(exc)
                     outcome = CellOutcome(
-                        spec=spec, report=report, error=error, error_type=error_type
+                        spec=specs[index],
+                        report=report,
+                        error=error,
+                        error_type=error_type,
                     )
                     outcomes[index] = outcome
                     if progress is not None:
                         progress(outcome)
-        return [outcome for outcome in outcomes if outcome is not None]
+                overdue = self._collect_overdue(pending, deadlines)
+                if overdue:
+                    for future in overdue:
+                        index = pending.pop(future)
+                        deadlines.pop(future, None)
+                        future.cancel()
+                        self.cells_timed_out += 1
+                        outcomes[index] = CellOutcome(
+                            spec=specs[index],
+                            error_type="CellTimeout",
+                            error=(
+                                f"cell exceeded the {self.cell_timeout}s "
+                                "wall-clock timeout"
+                            ),
+                        )
+                        if progress is not None:
+                            progress(outcomes[index])
+                    # The overdue cells' workers are still grinding;
+                    # terminate them and hand the survivors to a fresh
+                    # pool so the campaign keeps its full parallelism.
+                    abandoned = True
+                    self._terminate_workers(pool)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    return list(pending.values()) + list(queue)
+                fill()
+            return []
+        finally:
+            if not abandoned:
+                pool.shutdown(wait=True)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _wait_budget(self, deadlines: Dict[object, float]) -> Optional[float]:
+        """Seconds ``wait`` may block before the next deadline check."""
+        if not deadlines:
+            return None
+        budget = min(deadlines.values()) - time.monotonic()
+        return max(budget, 0.01)
+
+    @staticmethod
+    def _collect_overdue(
+        pending: Dict[object, int], deadlines: Dict[object, float]
+    ) -> List[object]:
+        if not deadlines:
+            return []
+        now = time.monotonic()
+        return [
+            future
+            for future in pending
+            if future in deadlines and deadlines[future] <= now
+        ]
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool's worker processes (timeout reclamation)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - best-effort reclamation
+                pass
+
+    @staticmethod
+    def _lost_outcome(
+        spec: CellSpec, breakage: BaseException, attempts: int
+    ) -> CellOutcome:
+        return CellOutcome(
+            spec=spec,
+            error_type=type(breakage).__name__,
+            error=(
+                f"cell lost to a broken worker pool after {attempts} "
+                f"attempt(s): {breakage}"
+            ),
+        )

@@ -27,8 +27,15 @@ from typing import Any, Callable, Dict, Optional
 from .. import units
 from ..checkpoint import CheckpointConfig, CheckpointService, RestartManager, StableStorage
 from ..cluster import Machine
-from ..errors import ConfigurationError
-from ..faults import Exponential, FailureInjector, LogNormal, Weibull
+from ..errors import CheckpointError, ConfigurationError, NoCheckpointError
+from ..faults import (
+    Exponential,
+    FailureInjector,
+    LogNormal,
+    StorageFaultConfig,
+    StorageFaultModel,
+    Weibull,
+)
 from ..models.checkpointing import daly_interval
 from ..models.redundancy import redundant_time, system_mtbf
 from ..mpi import SimMPI
@@ -75,6 +82,17 @@ class JobConfig:
     network_bandwidth: float = 3.2e9
     storage_write_bandwidth: float = 1e9
     storage_channels: int = 8
+    #: Chaos layer: storage fault probabilities (None, or a config with
+    #: all probabilities zero, leaves every code path bit-identical to
+    #: the fault-free pipeline).
+    storage_faults: Optional[StorageFaultConfig] = None
+    #: How many committed recovery lines storage retains for fallback.
+    recovery_line_depth: int = 3
+    #: Per-rank re-stage attempts after an injected checkpoint write
+    #: failure before the interval is skipped.
+    checkpoint_max_retries: int = 2
+    #: Initial backoff before a checkpoint retry (doubles, capped).
+    checkpoint_retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.virtual_processes < 1:
@@ -90,6 +108,19 @@ class JobConfig:
         if self.failure_distribution not in ("exponential", "weibull", "lognormal"):
             raise ConfigurationError(
                 f"unknown failure_distribution {self.failure_distribution!r}"
+            )
+        if self.recovery_line_depth < 1:
+            raise ConfigurationError(
+                f"recovery_line_depth must be >= 1, got {self.recovery_line_depth}"
+            )
+        if self.checkpoint_max_retries < 0:
+            raise ConfigurationError(
+                f"checkpoint_max_retries must be >= 0, got {self.checkpoint_max_retries}"
+            )
+        if self.checkpoint_retry_backoff < 0:
+            raise ConfigurationError(
+                f"checkpoint_retry_backoff must be >= 0, got "
+                f"{self.checkpoint_retry_backoff}"
             )
 
     def resolve_interval(self) -> Optional[float]:
@@ -156,6 +187,19 @@ class JobReport:
     physical_processes: int = 0
     #: Ordered job events: attempts, failures, commits, rollbacks.
     timeline: list = field(default_factory=list)
+    #: Chaos stats — all zero/empty when no storage faults are injected.
+    checkpoints_skipped: int = 0
+    checkpoint_retries: int = 0
+    checkpoint_write_failures: int = 0
+    #: Deepest recovery-line fallback any restart needed (1 = newest
+    #: line sufficed; > 1 means older lines were used; 0 = no restores).
+    max_rollback_depth: int = 0
+    #: Recovery lines skipped during restores (corrupt or unreadable).
+    recovery_lines_skipped: int = 0
+    #: Restarts that found every retained line bad and re-ran from step 0.
+    cold_starts: int = 0
+    #: Raw injection counts from the storage fault model.
+    storage_fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_minutes(self) -> float:
@@ -210,10 +254,17 @@ class ResilientJob:
             cfg.virtual_processes, cfg.redundancy, strategy=cfg.replica_strategy
         )
         total_physical = replica_map.total_physical
+        fault_model = (
+            StorageFaultModel(cfg.storage_faults)
+            if cfg.storage_faults is not None
+            else None
+        )
         storage = StableStorage(
             env,
             write_bandwidth=cfg.storage_write_bandwidth,
             channels=cfg.storage_channels,
+            faults=fault_model,
+            keep_sets=cfg.recovery_line_depth,
         )
         restart_manager = RestartManager(storage)
         delta = cfg.resolve_interval()
@@ -241,6 +292,10 @@ class ResilientJob:
         completed = False
         result: Any = None
         total_checkpoint_time = 0.0
+        checkpoints_skipped = 0
+        checkpoint_retries = 0
+        checkpoint_write_failures = 0
+        cold_starts = 0
         merged_counters: Dict[str, float] = {}
         while True:
             attempts += 1
@@ -249,6 +304,9 @@ class ResilientJob:
                 env, rng, replica_map, storage, restart_manager, restored, delta
             )
             total_checkpoint_time += attempt["checkpoint_time"]
+            checkpoints_skipped += attempt["checkpoints_skipped"]
+            checkpoint_retries += attempt["checkpoint_retries"]
+            checkpoint_write_failures += attempt["checkpoint_write_failures"]
             for name, value in attempt["counters"].items():
                 merged_counters[name] = merged_counters.get(name, 0.0) + value
             if attempt["completed"]:
@@ -263,10 +321,27 @@ class ResilientJob:
             self._pay_restart(env, storage, restart_manager)
             self._log(env, "restart_paid", "")
             if restart_manager.has_checkpoint:
-                line = restart_manager.line
-                images = restart_manager.peek_states(range(cfg.virtual_processes))
-                states = {rank: image["state"] for rank, image in images.items()}
-                restored = (line.step, states)
+                try:
+                    line, images = restart_manager.restore_states(
+                        range(cfg.virtual_processes)
+                    )
+                except NoCheckpointError:
+                    # Every retained recovery line is corrupt or
+                    # unreadable: degrade to a cold start from step 0
+                    # instead of crashing the job.
+                    cold_starts += 1
+                    self._log(env, "cold_start", "all recovery lines unusable")
+                    restored = None
+                else:
+                    if restart_manager.last_rollback_depth > 1:
+                        self._log(
+                            env,
+                            "recovery_fallback",
+                            f"depth {restart_manager.last_rollback_depth} "
+                            f"to set {line.set_id}",
+                        )
+                    states = {rank: image["state"] for rank, image in images.items()}
+                    restored = (line.step, states)
             else:
                 restored = None
 
@@ -297,6 +372,18 @@ class ResilientJob:
             checkpoint_interval=delta,
             physical_processes=total_physical,
             timeline=list(self._timeline),
+            checkpoints_skipped=checkpoints_skipped,
+            checkpoint_retries=checkpoint_retries,
+            checkpoint_write_failures=checkpoint_write_failures,
+            max_rollback_depth=restart_manager.max_rollback_depth,
+            recovery_lines_skipped=(
+                restart_manager.corrupt_lines_skipped
+                + restart_manager.unreadable_lines_skipped
+            ),
+            cold_starts=cold_starts,
+            storage_fault_counts=(
+                fault_model.counters() if fault_model is not None else {}
+            ),
         )
 
     # -- one attempt --------------------------------------------------------------
@@ -343,6 +430,9 @@ class ResilientJob:
                     interval=delta,
                     fixed_cost=cfg.checkpoint_cost,
                     bookmark_exchange=cfg.bookmark_exchange,
+                    max_retries=cfg.checkpoint_max_retries,
+                    retry_backoff=cfg.checkpoint_retry_backoff,
+                    max_backoff=max(1.0, cfg.checkpoint_retry_backoff),
                 ),
             )
         self._service = service
@@ -376,6 +466,13 @@ class ResilientJob:
 
         checkpoint_time = service.time_in_checkpoints if service else 0.0
         counters = world.counters.as_dict()
+        chaos_stats = {
+            "checkpoints_skipped": service.checkpoints_skipped if service else 0,
+            "checkpoint_retries": service.checkpoint_retries if service else 0,
+            "checkpoint_write_failures": (
+                service.checkpoint_write_failures if service else 0
+            ),
+        }
         if everyone.triggered and everyone.ok:
             lead_result = results.get(tracker.lead_replica(0))
             self._world = None
@@ -385,6 +482,7 @@ class ResilientJob:
                 "result": lead_result,
                 "checkpoint_time": checkpoint_time,
                 "counters": counters,
+                **chaos_stats,
             }
         # Sphere exhausted: tear the attempt down.
         for rank in list(world.alive_ranks):
@@ -396,6 +494,7 @@ class ResilientJob:
             "result": None,
             "checkpoint_time": checkpoint_time,
             "counters": counters,
+            **chaos_stats,
         }
 
     # -- restart window ---------------------------------------------------------------
@@ -421,7 +520,15 @@ class ResilientJob:
                         for v in range(cfg.virtual_processes)
                     ]
                     done = AllOf(env, readers)
-                    env.run(until=done)
+                    try:
+                        env.run(until=done)
+                    except CheckpointError:
+                        # Injected read fault or corrupt image on the
+                        # timed path: the I/O time spent so far *is* the
+                        # restart cost; the authoritative restore (with
+                        # line-by-line fallback) happens afterwards in
+                        # restore_states.
+                        pass
                 if not self._restart_disturbed:
                     return
                 # With suppression off a failure struck mid-restart: the

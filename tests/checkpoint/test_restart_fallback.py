@@ -1,0 +1,119 @@
+"""Tests for the multi-line restore: CRC fallback across recovery sets."""
+
+import pytest
+
+from repro.checkpoint import RestartManager, StableStorage
+from repro.checkpoint.image import capture_image
+from repro.errors import NoCheckpointError
+from repro.faults import ReadVerdict, StorageFaultConfig, StorageFaultModel
+
+from .test_storage_chaos import ScriptedFaults
+
+RANKS = (0, 1)
+
+
+def commit_line(storage, manager, set_id, step, now=0.0):
+    """Stage one image per rank (payload encodes the step) and commit."""
+    for rank in RANKS:
+        payload = {"step": step, "state": f"{set_id}-r{rank}"}
+        storage.stage_untimed(set_id, RestartManager.key_for(rank), capture_image(payload).data)
+    manager.note_commit(set_id, step, now)
+
+
+def build_history(env, lines=3, keep_sets=3, faults=None):
+    storage = StableStorage(env, faults=faults, keep_sets=keep_sets)
+    manager = RestartManager(storage)
+    for index in range(lines):
+        commit_line(storage, manager, f"set{index}", step=10 * (index + 1))
+    return storage, manager
+
+
+class TestHappyPath:
+    def test_restores_newest_line_at_depth_one(self, env):
+        _, manager = build_history(env)
+        line, images = manager.restore_states(RANKS)
+        assert line.set_id == "set2"
+        assert manager.last_rollback_depth == 1
+        assert images[0]["state"] == "set2-r0"
+        assert images[1]["state"] == "set2-r1"
+
+    def test_retained_lines_newest_first(self, env):
+        _, manager = build_history(env, lines=4, keep_sets=2)
+        assert [line.set_id for line in manager.retained_lines()] == ["set3", "set2"]
+
+
+class TestCorruptionFallback:
+    def test_falls_back_one_line_on_corrupt_image(self, env):
+        storage, manager = build_history(env)
+        storage.corrupt(RestartManager.key_for(0), set_id="set2")
+        line, images = manager.restore_states(RANKS)
+        assert line.set_id == "set1"
+        assert manager.last_rollback_depth == 2
+        assert manager.max_rollback_depth == 2
+        assert manager.corrupt_lines_skipped == 1
+        assert images[1]["state"] == "set1-r1"
+        # The recovery line rebinds so rework accounting sees the truth.
+        assert manager.line.set_id == "set1"
+
+    def test_falls_back_to_oldest_line(self, env):
+        storage, manager = build_history(env)
+        storage.corrupt(RestartManager.key_for(0), set_id="set2")
+        storage.corrupt(RestartManager.key_for(1), set_id="set1")
+        line, _ = manager.restore_states(RANKS)
+        assert line.set_id == "set0"
+        assert manager.last_rollback_depth == 3
+        assert manager.corrupt_lines_skipped == 2
+
+    def test_all_lines_bad_raises_for_cold_start(self, env):
+        storage, manager = build_history(env)
+        for set_id in ("set0", "set1", "set2"):
+            storage.corrupt(RestartManager.key_for(0), set_id=set_id)
+        with pytest.raises(NoCheckpointError):
+            manager.restore_states(RANKS)
+        assert manager.corrupt_lines_skipped == 3
+
+    def test_depth_resets_per_restore(self, env):
+        storage, manager = build_history(env)
+        storage.corrupt(RestartManager.key_for(0), set_id="set2")
+        manager.restore_states(RANKS)
+        assert manager.last_rollback_depth == 2
+        # A later commit heals the head; the next restore is depth 1
+        # while max_rollback_depth remembers the worst case.
+        commit_line(storage, manager, "set3", step=40)
+        manager.restore_states(RANKS)
+        assert manager.last_rollback_depth == 1
+        assert manager.max_rollback_depth == 2
+
+
+class TestUnreadableFallback:
+    def test_injected_read_failure_condemns_the_line(self, env):
+        faults = ScriptedFaults(reads=[ReadVerdict(fail=True)])
+        _, manager = build_history(env, faults=faults)
+        line, _ = manager.restore_states(RANKS)
+        assert line.set_id == "set1"
+        assert manager.unreadable_lines_skipped == 1
+        assert manager.corrupt_lines_skipped == 0
+
+    def test_trimmed_history_not_consulted(self, env):
+        # keep_sets=2 retains only set2/set1; the manager's history still
+        # remembers set0 but restore must not try the evicted set.
+        storage, manager = build_history(env, lines=3, keep_sets=2)
+        storage.corrupt(RestartManager.key_for(0), set_id="set2")
+        storage.corrupt(RestartManager.key_for(0), set_id="set1")
+        with pytest.raises(NoCheckpointError):
+            manager.restore_states(RANKS)
+
+
+class TestNoHistory:
+    def test_no_commit_raises(self, env):
+        storage = StableStorage(env)
+        manager = RestartManager(storage)
+        with pytest.raises(NoCheckpointError):
+            manager.restore_states(RANKS)
+
+    def test_zero_prob_model_never_blocks_restore(self, env):
+        faults = StorageFaultModel(StorageFaultConfig())
+        _, manager = build_history(env, faults=faults)
+        line, _ = manager.restore_states(RANKS)
+        assert line.set_id == "set2"
+        assert manager.last_rollback_depth == 1

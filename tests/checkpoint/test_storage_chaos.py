@@ -1,0 +1,201 @@
+"""Tests for the chaos-hardened storage: versioned sets + injected faults."""
+
+import pytest
+
+from repro.checkpoint import StableStorage
+from repro.errors import (
+    ConfigurationError,
+    CorruptImageError,
+    NoCheckpointError,
+    StorageReadError,
+    StorageWriteError,
+)
+from repro.faults import ReadVerdict, StorageFaultConfig, StorageFaultModel, WriteVerdict
+
+
+class ScriptedFaults(StorageFaultModel):
+    """Fault model whose verdicts come from explicit scripts (FIFO)."""
+
+    def __init__(self, writes=(), reads=()):
+        # Any positive probability flips ``enabled``; verdicts below
+        # never consult the RNG.
+        super().__init__(StorageFaultConfig(write_fail_prob=1e-9))
+        self.write_script = list(writes)
+        self.read_script = list(reads)
+
+    def on_write(self):
+        return self.write_script.pop(0) if self.write_script else WriteVerdict()
+
+    def on_read(self):
+        return self.read_script.pop(0) if self.read_script else ReadVerdict()
+
+
+class TestVersionedSets:
+    def _commit(self, storage, set_id, payload):
+        storage.stage_untimed(set_id, "k", payload)
+        storage.commit_set(set_id)
+
+    def test_retains_last_k_sets_newest_first(self, env):
+        storage = StableStorage(env, keep_sets=2)
+        for index in range(4):
+            self._commit(storage, f"s{index}", b"data%d" % index)
+        assert storage.committed_sets() == ["s3", "s2"]
+        assert storage.committed_set == "s3"
+
+    def test_trimmed_set_unreachable(self, env):
+        storage = StableStorage(env, keep_sets=2)
+        for index in range(3):
+            self._commit(storage, f"s{index}", b"x")
+        with pytest.raises(NoCheckpointError):
+            storage.fetch("s0", "k")
+
+    def test_fetch_reads_from_named_older_set(self, env):
+        storage = StableStorage(env, keep_sets=3)
+        self._commit(storage, "old", b"old-data")
+        self._commit(storage, "new", b"new-data")
+        assert storage.fetch("old", "k").data == b"old-data"
+        assert storage.fetch("new", "k").data == b"new-data"
+        assert storage.peek("k").data == b"new-data"
+
+    def test_read_from_older_set_timed(self, env, run_process):
+        storage = StableStorage(env, keep_sets=2)
+        self._commit(storage, "old", b"old-data")
+        self._commit(storage, "new", b"new-data")
+
+        def body():
+            return (yield from storage.read_from("old", "k"))
+
+        assert run_process(env, body()) == b"old-data"
+
+    def test_keep_sets_must_be_positive(self, env):
+        with pytest.raises(ConfigurationError):
+            StableStorage(env, keep_sets=0)
+
+    def test_committed_keys_for_named_set(self, env):
+        storage = StableStorage(env, keep_sets=2)
+        storage.stage_untimed("a", "k1", b"1")
+        storage.stage_untimed("a", "k2", b"2")
+        storage.commit_set("a")
+        self._commit(storage, "b", b"3")
+        assert storage.committed_keys("a") == ["k1", "k2"]
+        assert storage.committed_keys() == ["k"]
+
+
+class TestFaultsActive:
+    def test_no_model_is_inactive(self, env):
+        assert not StableStorage(env).faults_active
+
+    def test_all_zero_model_is_inactive(self, env):
+        faults = StorageFaultModel(StorageFaultConfig())
+        assert not StableStorage(env, faults=faults).faults_active
+
+    def test_enabled_model_is_active(self, env):
+        faults = StorageFaultModel(StorageFaultConfig(corrupt_prob=0.5))
+        assert StableStorage(env, faults=faults).faults_active
+
+
+class TestInjectedWriteFaults:
+    def test_timed_write_failure_charges_time_first(self, env, run_process):
+        faults = ScriptedFaults(writes=[WriteVerdict(fail=True)])
+        storage = StableStorage(
+            env, write_bandwidth=1000.0, latency=0.5, faults=faults
+        )
+
+        def body():
+            yield from storage.write("s", "k", b"x" * 1000)
+
+        with pytest.raises(StorageWriteError):
+            run_process(env, body())
+        # The failure surfaces at the end of the transfer, not before.
+        assert env.now == pytest.approx(0.5 + 1.0)
+
+    def test_failed_write_stages_nothing(self, env, run_process):
+        faults = ScriptedFaults(writes=[WriteVerdict(fail=True)])
+        storage = StableStorage(env, faults=faults)
+
+        def body():
+            yield from storage.write("s", "k", b"doomed")
+
+        with pytest.raises(StorageWriteError):
+            run_process(env, body())
+        with pytest.raises(Exception):
+            storage.commit_set("s")
+
+    def test_untimed_stage_failure(self, env):
+        faults = ScriptedFaults(writes=[WriteVerdict(fail=True)])
+        storage = StableStorage(env, faults=faults)
+        with pytest.raises(StorageWriteError):
+            storage.stage_untimed("s", "k", b"doomed")
+
+    def test_latency_spike_extends_write(self, env, run_process):
+        faults = ScriptedFaults(writes=[WriteVerdict(extra_latency=2.0)])
+        storage = StableStorage(
+            env, write_bandwidth=1000.0, latency=0.5, faults=faults
+        )
+
+        def body():
+            yield from storage.write("s", "k", b"x" * 1000)
+
+        run_process(env, body())
+        assert env.now == pytest.approx(0.5 + 1.0 + 2.0)
+
+    def test_corrupt_write_keeps_pristine_crc(self, env, run_process):
+        """At-rest rot: damaged payload, original digest — silent until read."""
+        faults = StorageFaultModel(StorageFaultConfig(corrupt_prob=1.0, seed=1))
+        storage = StableStorage(env, faults=faults)
+
+        def body():
+            yield from storage.write("s", "k", b"pristine-payload")
+
+        run_process(env, body())
+        storage.commit_set("s")
+        blob = storage.peek("k")
+        assert blob.data != b"pristine-payload"
+        with pytest.raises(CorruptImageError):
+            blob.verify()
+
+
+class TestInjectedReadFaults:
+    def _committed(self, env, faults):
+        storage = StableStorage(env, faults=faults)
+        storage.stage_untimed("s", "k", b"payload")
+        storage.commit_set("s")
+        return storage
+
+    def test_timed_read_failure(self, env, run_process):
+        faults = ScriptedFaults(reads=[ReadVerdict(fail=True)])
+        storage = self._committed(env, faults)
+
+        def body():
+            yield from storage.read("k")
+
+        with pytest.raises(StorageReadError):
+            run_process(env, body())
+
+    def test_fetch_applies_read_faults(self, env):
+        faults = ScriptedFaults(reads=[ReadVerdict(fail=True), ReadVerdict()])
+        storage = self._committed(env, faults)
+        with pytest.raises(StorageReadError):
+            storage.fetch("s", "k")
+        assert storage.fetch("s", "k").data == b"payload"
+
+    def test_peek_is_fault_free(self, env):
+        faults = ScriptedFaults(reads=[ReadVerdict(fail=True)])
+        storage = self._committed(env, faults)
+        assert storage.peek("k").data == b"payload"
+        # The scripted failure is still queued: peek never consulted it.
+        assert faults.read_script
+
+    def test_read_spike_extends_transfer(self, env, run_process):
+        faults = ScriptedFaults(reads=[ReadVerdict(extra_latency=3.0)])
+        storage = StableStorage(
+            env, read_bandwidth=1000.0, latency=0.0, faults=faults
+        )
+        storage.stage_untimed("s", "k", b"y" * 1000)
+        storage.commit_set("s")
+
+        def body():
+            return (yield from storage.read("k"))
+
+        assert run_process(env, body()) == b"y" * 1000
+        assert env.now == pytest.approx(1.0 + 3.0)

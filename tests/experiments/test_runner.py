@@ -13,6 +13,7 @@ from repro.experiments import (
 EXPECTED_IDS = {
     "table1", "table2", "table3", "table4", "table5",
     "fig2", "figs4to6", "fig11", "fig12", "fig13", "fig14",
+    "chaos",
 }
 
 

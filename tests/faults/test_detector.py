@@ -49,3 +49,28 @@ class TestDetection:
         world = SimMPI(env, size=1)
         with pytest.raises(ConfigurationError):
             FailureDetector(world, latency=-1.0)
+
+    def test_staggered_failures_keep_latency_offset(self, env):
+        """Each detection lands exactly ``latency`` after its failure."""
+        world = SimMPI(env, size=3)
+        spawn_idle(world)
+        detector = FailureDetector(world, latency=2.0)
+        seen = []
+        detector.subscribe(lambda rank: seen.append((env.now, rank)))
+        world.kill_rank(1)
+        env.run(until=5.0)
+        world.kill_rank(2)
+        env.run(until=20.0)
+        assert seen == [(2.0, 1), (7.0, 2)]
+
+    def test_all_subscribers_notified_after_latency(self, env):
+        world = SimMPI(env, size=2)
+        spawn_idle(world)
+        detector = FailureDetector(world, latency=1.5)
+        first, second = [], []
+        detector.subscribe(first.append)
+        detector.subscribe(second.append)
+        world.kill_rank(0)
+        assert first == [] and second == []
+        env.run(until=10.0)
+        assert first == [0] and second == [0]

@@ -1,0 +1,113 @@
+"""Tests for the seeded storage fault model (the chaos layer's RNG core)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ReadVerdict, StorageFaultConfig, StorageFaultModel, WriteVerdict
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field", ["write_fail_prob", "read_fail_prob", "corrupt_prob", "latency_spike_prob"]
+    )
+    def test_probability_bounds_enforced(self, field):
+        with pytest.raises(ConfigurationError):
+            StorageFaultConfig(**{field: 1.5})
+        with pytest.raises(ConfigurationError):
+            StorageFaultConfig(**{field: -0.1})
+
+    def test_negative_spike_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageFaultConfig(latency_spike=-1.0)
+
+    def test_enabled_iff_any_probability_positive(self):
+        assert not StorageFaultConfig().enabled
+        assert not StorageFaultConfig(latency_spike=9.0).enabled
+        assert StorageFaultConfig(corrupt_prob=0.01).enabled
+        assert StorageFaultConfig(latency_spike_prob=0.5).enabled
+
+
+class TestDisabledIsNoOp:
+    def test_disabled_model_injects_nothing(self):
+        model = StorageFaultModel(StorageFaultConfig())
+        for _ in range(100):
+            assert model.on_write() == WriteVerdict()
+            assert model.on_read() == ReadVerdict()
+        assert model.counters() == {
+            "storage_writes_failed": 0,
+            "storage_reads_failed": 0,
+            "storage_blobs_corrupted": 0,
+            "storage_latency_spikes": 0,
+        }
+
+    def test_disabled_model_draws_nothing(self):
+        """The stream must not advance: disabled == strict no-op."""
+        model = StorageFaultModel(StorageFaultConfig(seed=7))
+        before = model._rng.bit_generator.state
+        for _ in range(10):
+            model.on_write()
+            model.on_read()
+        assert model._rng.bit_generator.state == before
+
+
+class TestDeterminism:
+    def _verdicts(self, config, n=50):
+        model = StorageFaultModel(config)
+        return [model.on_write() for _ in range(n)]
+
+    def test_same_seed_same_verdicts(self):
+        config = StorageFaultConfig(
+            write_fail_prob=0.3, corrupt_prob=0.2, latency_spike_prob=0.1, seed=11
+        )
+        assert self._verdicts(config) == self._verdicts(config)
+
+    def test_different_seed_different_verdicts(self):
+        a = StorageFaultConfig(write_fail_prob=0.5, seed=1)
+        b = StorageFaultConfig(write_fail_prob=0.5, seed=2)
+        assert self._verdicts(a) != self._verdicts(b)
+
+    def test_common_random_numbers_across_sweep_points(self):
+        """Sweeping one probability keeps the other decisions aligned."""
+        lo = StorageFaultConfig(write_fail_prob=0.4, corrupt_prob=0.0, seed=5)
+        hi = StorageFaultConfig(write_fail_prob=0.4, corrupt_prob=0.9, seed=5)
+        fails_lo = [v.fail for v in self._verdicts(lo)]
+        fails_hi = [v.fail for v in self._verdicts(hi)]
+        assert fails_lo == fails_hi
+        assert any(fails_lo)
+
+
+class TestDamage:
+    def test_flips_exactly_one_bit(self):
+        model = StorageFaultModel(StorageFaultConfig(corrupt_prob=1.0, seed=3))
+        data = bytes(range(256))
+        damaged = model.damage(data)
+        assert damaged != data
+        assert len(damaged) == len(data)
+        diff = [(a ^ b) for a, b in zip(data, damaged) if a != b]
+        assert len(diff) == 1
+        assert bin(diff[0]).count("1") == 1
+
+    def test_empty_payload_untouched(self):
+        model = StorageFaultModel(StorageFaultConfig(corrupt_prob=1.0))
+        assert model.damage(b"") == b""
+
+
+class TestCounters:
+    def test_counts_follow_injections(self):
+        model = StorageFaultModel(
+            StorageFaultConfig(write_fail_prob=1.0, latency_spike_prob=1.0, seed=0)
+        )
+        for _ in range(4):
+            verdict = model.on_write()
+            assert verdict.fail
+            assert verdict.extra_latency == pytest.approx(0.05)
+        counts = model.counters()
+        assert counts["storage_writes_failed"] == 4
+        assert counts["storage_latency_spikes"] == 4
+
+    def test_fail_takes_precedence_over_corrupt(self):
+        model = StorageFaultModel(
+            StorageFaultConfig(write_fail_prob=1.0, corrupt_prob=1.0)
+        )
+        verdict = model.on_write()
+        assert verdict.fail and not verdict.corrupt

@@ -6,22 +6,100 @@ the serial fallback for unpicklable configs, and the determinism
 regression: a pooled campaign is bit-identical to a serial one.
 """
 
+import os
+import signal
+import time
 from functools import partial
 
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.faults import StorageFaultConfig
 from repro.orchestration import (
     CampaignExecutionError,
     CampaignExecutor,
     CellSpec,
     JobConfig,
+    resolve_cell_retries,
+    resolve_cell_timeout,
     resolve_workers,
     run_failure_free_sweep,
     run_redundancy_sweep,
 )
 from repro.orchestration.campaign import redundancy_sweep_specs
 from repro.workloads import SyntheticWorkload
+
+
+#: PID of the pytest process: the suicide workloads below must never
+#: fire in the parent (e.g. on the serial-fallback path) — only in a
+#: forked pool worker, whose PID differs.
+_PARENT_PID = os.getpid()
+
+
+def _kill_current_worker(delay):
+    if os.getpid() == _PARENT_PID:
+        raise RuntimeError("refusing to kill the test process itself")
+    if delay:
+        time.sleep(delay)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class KamikazeWorkload(SyntheticWorkload):
+    """Kills its host pool worker once; a sentinel file marks it done.
+
+    Module-level (picklable by reference) so pool workers can build it.
+    The delay lets sibling cells finish first, making the mid-campaign
+    breakage deterministic rather than a pool-creation failure.
+    """
+
+    def __init__(self, sentinel, delay=0.0, **kwargs):
+        super().__init__(**kwargs)
+        self._sentinel = sentinel
+        self._delay = delay
+
+    def configure(self, rank, size, rng):
+        if not os.path.exists(self._sentinel):
+            with open(self._sentinel, "w"):
+                pass
+            _kill_current_worker(self._delay)
+        return super().configure(rank, size, rng)
+
+
+class PoisonWorkload(SyntheticWorkload):
+    """Kills its host pool worker every single time (retry exhaustion)."""
+
+    def __init__(self, delay=0.0, **kwargs):
+        super().__init__(**kwargs)
+        self._delay = delay
+
+    def configure(self, rank, size, rng):
+        _kill_current_worker(self._delay)
+        return super().configure(rank, size, rng)
+
+
+class GlacialWorkload(SyntheticWorkload):
+    """Burns wall-clock time in the worker (for the cell-timeout tests)."""
+
+    def __init__(self, sleep_seconds, **kwargs):
+        super().__init__(**kwargs)
+        self._sleep_seconds = sleep_seconds
+
+    def configure(self, rank, size, rng):
+        time.sleep(self._sleep_seconds)
+        return super().configure(rank, size, rng)
+
+
+def special_config(factory_cls, **factory_kwargs):
+    """A picklable config around one of the wall-clock test workloads."""
+    return picklable_config(
+        workload_factory=partial(
+            factory_cls,
+            total_steps=12,
+            compute_seconds=0.02,
+            message_bytes=2048,
+            **factory_kwargs,
+        )
+    )
 
 
 def picklable_config(**overrides):
@@ -210,3 +288,144 @@ class TestSweepErrorPolicy:
         cells = run_failure_free_sweep(picklable_config(), degrees=[1.0, 2.0])
         assert len(cells) == 2
         assert all(cell.report.completed for cell in cells)
+
+
+class TestResolveHardeningKnobs:
+    def test_timeout_default_is_unlimited(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CELL_TIMEOUT", raising=False)
+        assert resolve_cell_timeout(None) is None
+
+    def test_timeout_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "7.5")
+        assert resolve_cell_timeout(None) == 7.5
+
+    def test_timeout_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "7.5")
+        assert resolve_cell_timeout(3.0) == 3.0
+
+    def test_timeout_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "soon")
+        with pytest.raises(ConfigurationError):
+            resolve_cell_timeout(None)
+        with pytest.raises(ConfigurationError):
+            resolve_cell_timeout(0.0)
+
+    def test_retries_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CELL_RETRIES", raising=False)
+        assert resolve_cell_retries(None) == 2
+
+    def test_retries_env_and_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "5")
+        assert resolve_cell_retries(None) == 5
+        assert resolve_cell_retries(0) == 0
+
+    def test_retries_invalid_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_cell_retries(-1)
+
+
+class TestChaosNoOp:
+    def test_zero_prob_fault_model_bit_identical(self):
+        """Acceptance: an all-zero chaos config must not perturb output."""
+        plain = picklable_config(node_mtbf=2.0)
+        disarmed = picklable_config(
+            node_mtbf=2.0, storage_faults=StorageFaultConfig()
+        )
+        kwargs = dict(node_mtbfs=[2.0, 4.0], degrees=[1.0, 2.0])
+        baseline = run_redundancy_sweep(plain, workers=1, **kwargs)
+        chaos = run_redundancy_sweep(disarmed, workers=1, **kwargs)
+        for left, right in zip(baseline, chaos):
+            assert report_signature(left.report) == report_signature(right.report)
+        assert all(c.report.storage_fault_counts == {} for c in baseline)
+
+
+class TestSelfHealing:
+    def test_killed_worker_loses_zero_cells(self, tmp_path):
+        """Acceptance: a SIGKILLed pool worker mid-campaign loses nothing."""
+        sentinel = str(tmp_path / "killed-once")
+        specs = [
+            CellSpec(node_mtbf=None, redundancy=1.0, config=picklable_config()),
+            CellSpec(
+                node_mtbf=None,
+                redundancy=1.5,
+                config=special_config(KamikazeWorkload, sentinel=sentinel, delay=1.0),
+            ),
+            CellSpec(node_mtbf=None, redundancy=2.0, config=picklable_config()),
+        ]
+        executor = CampaignExecutor(workers=2)
+        outcomes = executor.run(specs)
+        assert len(outcomes) == len(specs)
+        assert all(o.ok for o in outcomes), [
+            (o.error_type, o.error) for o in outcomes if not o.ok
+        ]
+        assert executor.pool_breakages >= 1
+        assert os.path.exists(sentinel)
+
+    def test_poison_cell_synthesized_after_retries(self):
+        """A cell that kills its worker every time is eventually declared
+        lost instead of rebuilding pools forever — and the healthy cells
+        still all complete."""
+        specs = [
+            CellSpec(node_mtbf=None, redundancy=1.0, config=picklable_config()),
+            CellSpec(
+                node_mtbf=None,
+                redundancy=1.5,
+                config=special_config(PoisonWorkload, delay=0.3),
+            ),
+            CellSpec(node_mtbf=None, redundancy=2.0, config=picklable_config()),
+        ]
+        executor = CampaignExecutor(workers=2, cell_retries=1)
+        outcomes = executor.run(specs)
+        assert len(outcomes) == len(specs)
+        statuses = [o.ok for o in outcomes]
+        # The poison cell must come back as a synthesized failure (pool
+        # path) or a captured error (serial fallback); never dropped.
+        assert statuses[0] and statuses[2]
+        assert not statuses[1]
+        assert outcomes[1].error_type is not None
+
+    def test_cell_timeout_fails_slow_cell_only(self):
+        specs = [
+            CellSpec(node_mtbf=None, redundancy=1.0, config=picklable_config()),
+            CellSpec(
+                node_mtbf=None,
+                redundancy=1.5,
+                config=special_config(GlacialWorkload, sleep_seconds=30.0),
+            ),
+        ]
+        executor = CampaignExecutor(workers=2, cell_timeout=1.5)
+        start = time.monotonic()
+        outcomes = executor.run(specs)
+        elapsed = time.monotonic() - start
+        assert elapsed < 15.0  # the 30 s sleeper was reclaimed, not awaited
+        assert len(outcomes) == 2
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].error_type == "CellTimeout"
+        assert executor.cells_timed_out == 1
+
+    def test_timeout_survivors_move_to_fresh_pool(self):
+        specs = [
+            CellSpec(
+                node_mtbf=None,
+                redundancy=1.0,
+                config=special_config(GlacialWorkload, sleep_seconds=30.0),
+            ),
+            CellSpec(node_mtbf=None, redundancy=1.5, config=picklable_config()),
+            CellSpec(node_mtbf=None, redundancy=2.0, config=picklable_config()),
+            CellSpec(node_mtbf=None, redundancy=2.5, config=picklable_config()),
+        ]
+        executor = CampaignExecutor(workers=2, cell_timeout=2.0)
+        outcomes = executor.run(specs)
+        assert len(outcomes) == 4
+        assert [o.ok for o in outcomes] == [False, True, True, True]
+        assert outcomes[0].error_type == "CellTimeout"
+
+    def test_no_timeout_means_no_deadline_bookkeeping(self):
+        specs = redundancy_sweep_specs(
+            picklable_config(), node_mtbfs=[5.0], degrees=[1.0, 2.0]
+        )
+        executor = CampaignExecutor(workers=2, cell_timeout=None)
+        outcomes = executor.run(specs)
+        assert all(o.ok for o in outcomes)
+        assert executor.cells_timed_out == 0

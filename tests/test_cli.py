@@ -69,6 +69,16 @@ class TestCommands:
         assert main(["campaign", "oops"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_chaos_subcommand(self, capsys):
+        assert main(["chaos", "probs=(0.0, 0.3)"]) == 0
+        output = capsys.readouterr().out
+        assert "Chaos sweep" in output
+        assert "corrupt" in output and "write-fail" in output
+
+    def test_chaos_bad_override_reports_error(self, capsys):
+        assert main(["chaos", "oops"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestAdvise:
     def test_recommends_dual_at_scale(self, capsys):
