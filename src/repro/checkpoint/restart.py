@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CorruptImageError, NoCheckpointError, StorageReadError
+from ..obs.trace import NULL_TRACER
 from .image import image_from_bytes, restore_image
 from .storage import StableStorage
 
@@ -39,8 +40,9 @@ class RecoveryLine:
 class RestartManager:
     """Bookkeeping around the committed checkpoint lines."""
 
-    def __init__(self, storage: StableStorage) -> None:
+    def __init__(self, storage: StableStorage, tracer=NULL_TRACER) -> None:
         self.storage = storage
+        self.tracer = tracer
         self._line: Optional[RecoveryLine] = None
         self.commits = 0
         self.rollbacks = 0
@@ -148,13 +150,32 @@ class RestartManager:
                     states[rank] = restore_image(image_from_bytes(blob.data))
             except CorruptImageError:
                 self.corrupt_lines_skipped += 1
+                self.tracer.event(
+                    "recovery_line_corrupt",
+                    sim_time=self.storage.env.now,
+                    set=line.set_id,
+                    depth=depth,
+                )
                 continue
             except (StorageReadError, NoCheckpointError):
                 self.unreadable_lines_skipped += 1
+                self.tracer.event(
+                    "recovery_line_unreadable",
+                    sim_time=self.storage.env.now,
+                    set=line.set_id,
+                    depth=depth,
+                )
                 continue
             self.last_rollback_depth = depth
             self.max_rollback_depth = max(self.max_rollback_depth, depth)
             self._line = line
+            if depth > 1:
+                self.tracer.event(
+                    "recovery_fallback_used",
+                    sim_time=self.storage.env.now,
+                    set=line.set_id,
+                    depth=depth,
+                )
             return line, states
         raise NoCheckpointError(
             f"all {len(candidates)} retained recovery line(s) are corrupt "

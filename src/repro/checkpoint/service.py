@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import ConfigurationError, StorageWriteError
 from ..mpi import ops
+from ..obs.trace import NULL_TRACER
 from .coordinator import BookmarkCoordinator
 from .image import capture_image
 from .restart import RestartManager
@@ -133,16 +134,25 @@ class CheckpointService:
         storage: StableStorage,
         restart_manager: RestartManager,
         config: CheckpointConfig,
+        tracer=NULL_TRACER,
     ) -> None:
         self.runtime = runtime
         self.storage = storage
         self.restart_manager = restart_manager
         self.config = config
+        self.tracer = tracer
         self.env = runtime.env
         self._last_checkpoint = self.env.now
         self._participants = 0
+        self._union_started = 0.0
+        self._union_span = None
         self.checkpoints_taken = 0
         self.time_in_checkpoints = 0.0
+        #: Union of the per-rank checkpoint windows: the wallclock the
+        #: application actually spent checkpointing.  (The per-rank
+        #: windows overlap almost completely, so ``time_in_checkpoints``
+        #: — their *sum* — overcounts by roughly the rank count.)
+        self.checkpoint_union_time = 0.0
         #: Intervals abandoned after retry exhaustion (graceful degradation).
         self.checkpoints_skipped = 0
         #: Successful re-stages after an injected write failure.
@@ -189,6 +199,14 @@ class CheckpointService:
     def take_checkpoint(self, comm, workload, step: int):
         """Generator: the full coordinated-checkpoint path (steps 2-5)."""
         started = self.env.now
+        if self._participants == 0:
+            # First rank in opens the union window (and its span); the
+            # last rank out closes it.  This tracks the wallclock the
+            # *application* spends checkpointing, not the per-rank sum.
+            self._union_started = started
+            self._union_span = self.tracer.begin(
+                "checkpoint", sim_time=started, step=step + 1
+            )
         self._participants += 1
         try:
             yield from comm.barrier()
@@ -246,6 +264,9 @@ class CheckpointService:
                     # skip this interval; the previous recovery line
                     # stays intact and the next interval retries.
                     self.checkpoints_skipped += 1
+                    self.tracer.event(
+                        "checkpoint_skipped", sim_time=self.env.now, set=set_id
+                    )
                     self.storage.abort_set(set_id)
                 else:
                     self.checkpoints_taken += 1
@@ -263,6 +284,11 @@ class CheckpointService:
         finally:
             self._participants -= 1
             self.time_in_checkpoints += self.env.now - started
+            if self._participants == 0:
+                self.checkpoint_union_time += self.env.now - self._union_started
+                if self._union_span is not None:
+                    self._union_span.end(sim_time=self.env.now)
+                    self._union_span = None
 
     def _persist_with_retry(self, set_id: str, key: str, image, timed: bool):
         """Generator: persist one rank's image, retrying injected failures.
@@ -294,9 +320,23 @@ class CheckpointService:
                 yield self.env.timeout(cfg.fixed_cost)
             if persisted:
                 return False
+            self.tracer.event(
+                "checkpoint_write_failure",
+                sim_time=self.env.now,
+                set=set_id,
+                key=key,
+                attempt=attempt,
+            )
             if attempt >= cfg.max_retries:
                 return True
             self.checkpoint_retries += 1
+            self.tracer.event(
+                "checkpoint_retry",
+                sim_time=self.env.now,
+                set=set_id,
+                key=key,
+                backoff=backoff,
+            )
             if backoff > 0.0:
                 yield self.env.timeout(backoff)
             backoff = min(backoff * 2.0, cfg.max_backoff)
@@ -317,6 +357,14 @@ class CheckpointService:
                 return
             except StorageWriteError:
                 self.checkpoint_write_failures += 1
+                self.tracer.event(
+                    "checkpoint_write_failure",
+                    sim_time=self.env.now,
+                    set=set_id,
+                    key=key,
+                    attempt=attempt,
+                    forked=True,
+                )
                 if attempt >= cfg.max_retries:
                     self._failed_forked.add(set_id)
                     return
@@ -335,6 +383,9 @@ class CheckpointService:
             # abandon the set; the previous recovery line stands.
             self._failed_forked.discard(set_id)
             self.checkpoints_skipped += 1
+            self.tracer.event(
+                "checkpoint_skipped", sim_time=self.env.now, set=set_id, forked=True
+            )
             self.storage.abort_set(set_id)
             return
         self.restart_manager.note_commit(set_id, step + 1, self.env.now)

@@ -32,6 +32,7 @@ from . import units
 from ._version import __version__
 from .errors import ReproError
 from .experiments import list_experiments, run_experiment
+from .obs import ObsSession, render_report, report_from_file
 
 
 def _parse_value(text: str) -> Any:
@@ -52,6 +53,23 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
         key, _, value = pair.partition("=")
         overrides[key.strip()] = _parse_value(value.strip())
     return overrides
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by the sweep subcommands."""
+    subparser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace of every job (phase spans, fault events) "
+        "to FILE; render it later with 'repro-exp report FILE'",
+    )
+    subparser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print parent-side campaign metrics (counters, gauges, "
+        "wall-time histograms) after the sweep",
+    )
 
 
 def _add_pool_hardening_flags(subparser: argparse.ArgumentParser) -> None:
@@ -111,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the Table 5 failure-free sweep instead of the Table 4 grid",
     )
     _add_pool_hardening_flags(campaign)
+    _add_obs_flags(campaign)
     campaign.add_argument(
         "overrides",
         nargs="*",
@@ -133,10 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced probability grid (0, 0.1, 0.3)",
     )
     _add_pool_hardening_flags(chaos)
+    _add_obs_flags(chaos)
     chaos.add_argument(
         "overrides",
         nargs="*",
         help="extra experiment parameter overrides as key=value",
+    )
+    reporter = commands.add_parser(
+        "report",
+        help="render the per-phase time breakdown from a --trace file",
+    )
+    reporter.add_argument("trace", help="JSONL trace written by --trace")
+    reporter.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative disagreement allowed between span sums and each "
+        "job's reported totals (default 0.01)",
     )
     advisor = commands.add_parser(
         "advise",
@@ -198,6 +230,12 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "report":
+        try:
+            return _report(args)
+        except (ReproError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "advise":
         try:
             print(_advise(args))
@@ -224,16 +262,29 @@ def _campaign(args) -> int:
             flush=True,
         )
 
+    obs = ObsSession(trace_path=args.trace, metrics=args.metrics)
     result = run_experiment(
         experiment,
         workers=args.workers,
         progress=progress,
         cell_timeout=args.cell_timeout,
         cell_retries=args.cell_retries,
+        obs=obs if obs.enabled else None,
         **overrides,
     )
     print(result.render())
+    _print_obs(args, obs)
     return 0
+
+
+def _print_obs(args, obs: ObsSession) -> None:
+    """Shared --trace/--metrics epilogue for the sweep subcommands."""
+    if obs.metrics is not None:
+        print()
+        print(obs.metrics.render())
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(render with: repro-exp report {args.trace})")
 
 
 def _chaos(args) -> int:
@@ -250,16 +301,26 @@ def _chaos(args) -> int:
         )
         print(f"  cell p={outcome.spec.redundancy:g}: {status}", flush=True)
 
+    obs = ObsSession(trace_path=args.trace, metrics=args.metrics)
     result = run_experiment(
         "chaos",
         workers=args.workers,
         progress=progress,
         cell_timeout=args.cell_timeout,
         cell_retries=args.cell_retries,
+        obs=obs if obs.enabled else None,
         **overrides,
     )
     print(result.render())
+    _print_obs(args, obs)
     return 0
+
+
+def _report(args) -> int:
+    """Render a trace file's per-phase breakdown and reconciliation."""
+    report = report_from_file(args.trace, tolerance=args.tolerance)
+    print(render_report(report))
+    return 0 if report.ok else 2
 
 
 def _advise(args) -> str:

@@ -22,11 +22,12 @@ the paper's regime.  Expected shape (the paper's observations 1-4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Optional, Sequence
 
 from ..models.redundancy import PAPER_REDUNDANCY_GRID
+from ..obs import NULL_TRACER, ObsSession
 from ..orchestration import JobConfig, run_redundancy_sweep
 from ..orchestration.campaign import cells_to_matrix
 from ..util.plot import ascii_heatmap, ascii_plot
@@ -118,19 +119,33 @@ def run(
     workers: Optional[int] = None,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ExperimentResult:
     """Run the campaign grid and render the Table 4 matrix.
 
     ``quick=True`` shrinks the grid to 3 MTBFs x 5 degrees (handy from
     the CLI); ``progress`` (optional) is called with each finished cell;
     ``workers`` (or the ``REPRO_WORKERS`` env var) fans the grid out
-    over a process pool with bit-identical results.
+    over a process pool with bit-identical results.  ``obs`` (an
+    :class:`~repro.obs.ObsSession`) turns on tracing/metrics: every
+    cell's job writes a trace part, merged into one JSONL file at the
+    end.  Tracing never touches the simulation clock, so traced results
+    equal untraced ones.
     """
     setup = setup or ScaledSetup()
     if quick:
         mtbf_hours = (6.0, 18.0, 30.0)
         degrees = (1.0, 1.5, 2.0, 2.5, 3.0)
     base = setup.job_config()
+    if obs is not None and obs.enabled:
+        obs.stamp(
+            "table4",
+            params={"quick": quick, "mtbf_hours": list(mtbf_hours),
+                    "degrees": list(degrees), "setup": setup},
+            base_seed=setup.base_seed,
+        )
+        if obs.parts_dir is not None:
+            base = replace(base, trace_dir=obs.parts_dir)
     cells = run_redundancy_sweep(
         base,
         node_mtbfs=[setup.mtbf_to_sim(h) for h in mtbf_hours],
@@ -139,7 +154,11 @@ def run(
         workers=workers,
         cell_timeout=cell_timeout,
         cell_retries=cell_retries,
+        tracer=obs.tracer if obs is not None else NULL_TRACER,
+        metrics=obs.metrics if obs is not None else None,
     )
+    if obs is not None and obs.enabled:
+        obs.finalize(cells=len(cells))
     matrix = cells_to_matrix(cells)
     rows = []
     minima = {}

@@ -13,9 +13,11 @@ amplification.  Our simulator reproduces that mechanism natively.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..models.redundancy import PAPER_REDUNDANCY_GRID, redundant_time
+from ..obs import NULL_TRACER, ObsSession
 from ..orchestration import run_failure_free_sweep
 from .runner import ExperimentResult
 from .table4 import ScaledSetup
@@ -33,14 +35,24 @@ def run(
     progress=None,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ExperimentResult:
     """Run the failure-free sweep and compare to the linear expectation.
 
     ``workers`` (or ``REPRO_WORKERS``) runs the per-degree cells in a
-    process pool; results are identical to the serial sweep.
+    process pool; results are identical to the serial sweep.  ``obs``
+    turns on tracing/metrics (see :mod:`repro.obs`).
     """
     setup = setup or ScaledSetup()
     base = setup.job_config()
+    if obs is not None and obs.enabled:
+        obs.stamp(
+            "table5",
+            params={"degrees": list(degrees), "alpha": alpha, "setup": setup},
+            base_seed=setup.base_seed,
+        )
+        if obs.parts_dir is not None:
+            base = replace(base, trace_dir=obs.parts_dir)
     cells = run_failure_free_sweep(
         base,
         degrees=list(degrees),
@@ -48,7 +60,11 @@ def run(
         progress=progress,
         cell_timeout=cell_timeout,
         cell_retries=cell_retries,
+        tracer=obs.tracer if obs is not None else NULL_TRACER,
+        metrics=obs.metrics if obs is not None else None,
     )
+    if obs is not None and obs.enabled:
+        obs.finalize(cells=len(cells))
     observed = {cell.redundancy: cell.report.total_time for cell in cells}
     base_time = observed[1.0]
     observed_minutes = [

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List
 
 from ..errors import ConfigurationError
+from ..obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mpi.runtime import SimMPI
@@ -20,11 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class FailureDetector:
     """Latency-delayed death notifications."""
 
-    def __init__(self, runtime: "SimMPI", latency: float = 0.0) -> None:
+    def __init__(
+        self, runtime: "SimMPI", latency: float = 0.0, tracer=NULL_TRACER
+    ) -> None:
         if latency < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency}")
         self.runtime = runtime
         self.latency = latency
+        self.tracer = tracer
         self._subscribers: List[Callable[[int], None]] = []
         self.detections: List[tuple] = []
         runtime.on_rank_death(self._on_death)
@@ -42,5 +46,11 @@ class FailureDetector:
 
     def _notify(self, rank: int) -> None:
         self.detections.append((self.runtime.env.now, rank))
+        self.tracer.event(
+            "failure_detected",
+            sim_time=self.runtime.env.now,
+            rank=rank,
+            latency=self.latency,
+        )
         for callback in list(self._subscribers):
             callback(rank)

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.trace import NULL_TRACER
 from ..simkit import Environment
 from .distributions import Distribution, Exponential
 
@@ -53,10 +54,12 @@ class FailureInjector:
         cr_active: Optional[Callable[[], bool]] = None,
         suppress_during_cr: bool = True,
         retry_interval: Optional[float] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if slots < 1:
             raise ConfigurationError(f"slots must be >= 1, got {slots}")
         self.env = env
+        self.tracer = tracer
         self.slots = slots
         self.distribution = distribution
         self.rng = rng
@@ -113,6 +116,9 @@ class FailureInjector:
                     # pauses during C/R windows") — deferring it instead
                     # would bunch failures at the window's end.
                     self.suppressed += 1
+                    self.tracer.event(
+                        "failure_suppressed", sim_time=self.env.now, slot=slot
+                    )
                     heapq.heappush(
                         self._schedule,
                         (self.env.now + self.distribution.sample(self.rng), slot),
@@ -120,6 +126,9 @@ class FailureInjector:
                     continue
                 self.records.append(FailureRecord(time=self.env.now, slot=slot))
                 self._record_times.append(self.env.now)
+                self.tracer.event(
+                    "failure_injected", sim_time=self.env.now, slot=slot
+                )
                 self.kill(slot)
                 # Step 2 again: the replacement process on the spare node
                 # is just as mortal (assumption 5: spares are plentiful).

@@ -76,7 +76,11 @@ def expected_lost_work(delta: float, checkpoint_cost: float, mtbf: float) -> flo
     numerator = (
         -mtbf * math.expm1(-delta / mtbf) - delta * math.exp(-delta_c / mtbf)
     )
-    return numerator / denominator
+    # Enforce the mathematical bound numerically: for delta << mtbf the
+    # two terms of the numerator cancel to machine precision and can
+    # leave a tiny negative residue, which downstream validation (and
+    # Eq. 13's exp/expm1 calls) must never see.
+    return min(max(numerator / denominator, 0.0), delta)
 
 
 def expected_restart_rework(

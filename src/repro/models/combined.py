@@ -185,12 +185,21 @@ class CombinedModel:
                 "linearised model); use exact_reliability=True or reduce scale"
             )
         mtbf = math.inf if rate == 0.0 else 1.0 / rate
-        if math.isinf(mtbf):
+        if self.checkpoint_interval is not None:
+            delta = self.checkpoint_interval
+        elif math.isinf(mtbf):
             # Failure-free in expectation: still checkpoint at a nominal
             # interval so the breakdown is well defined.
-            delta = self.checkpoint_interval or t_red
+            delta = t_red
         else:
-            delta = self.interval(mtbf)
+            # Clamp the rule interval to the nominal one-checkpoint run.
+            # As rate -> 0 the rule interval grows without bound, so the
+            # clamp makes this branch converge continuously to the
+            # failure-free branch above; an unclamped interval longer
+            # than the run itself is meaningless and opened a
+            # one-checkpoint-cost discontinuity at the boundary where
+            # the rate underflows to exactly 0.0.
+            delta = min(self.interval(mtbf), t_red)
         breakdown = time_breakdown(
             t_red, delta, self.checkpoint_cost, rate, self.restart_cost
         )

@@ -69,8 +69,15 @@ class ModelGrid:
 
     @property
     def expected_checkpoints(self) -> np.ndarray:
-        """Expected checkpoints taken, ``t_Red / delta``."""
-        return self.redundant_time / self.checkpoint_interval
+        """Expected checkpoints taken, ``t_Red / delta``.
+
+        Diverged cells (whose interval is ``nan``) report ``inf``
+        explicitly — the job restarts forever — rather than silently
+        propagating ``nan`` into downstream aggregations.
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            counts = self.redundant_time / self.checkpoint_interval
+        return np.where(self.diverged, np.inf, counts)
 
     @property
     def expected_failures(self) -> np.ndarray:
@@ -201,7 +208,11 @@ def evaluate_grid(
             delta = override.copy()
         else:
             # Failure-free in expectation: nominal one-checkpoint run.
-            delta = np.where(failure_free, t_red, rule_delta)
+            # Elsewhere the rule interval is clamped to that same
+            # nominal run, so the failure-free branch is the continuous
+            # rate -> 0 limit (rule_delta -> inf) — mirroring the
+            # scalar path exactly; see CombinedModel.evaluate().
+            delta = np.where(failure_free, t_red, np.minimum(rule_delta, t_red))
         delta = np.where(diverged, np.nan, delta)
 
         # Eq. 14 — total time via Eqs. 12-13.
@@ -210,10 +221,17 @@ def evaluate_grid(
         delta_c = safe_delta + c
         denom = -np.expm1(-delta_c / safe_mtbf)
         denom = np.where(denom > 0, denom, 1.0)
-        t_lw = (
-            -safe_mtbf * np.expm1(-safe_delta / safe_mtbf)
-            - safe_delta * np.exp(-delta_c / safe_mtbf)
-        ) / denom
+        # Clipped to the mathematical bound 0 <= t_lw <= delta: for
+        # delta << mtbf the numerator cancels to machine precision and
+        # can leave a tiny negative residue (mirrors the scalar clamp).
+        t_lw = np.clip(
+            (
+                -safe_mtbf * np.expm1(-safe_delta / safe_mtbf)
+                - safe_delta * np.exp(-delta_c / safe_mtbf)
+            ) / denom,
+            0.0,
+            safe_delta,
+        )
         x = rc + t_lw
         survive = np.exp(-x / safe_mtbf)
         fail = -np.expm1(-x / safe_mtbf)

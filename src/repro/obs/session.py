@@ -1,0 +1,80 @@
+"""ObsSession: one run's observability bundle (trace + metrics).
+
+The CLI (and the experiment entry points) deal with exactly one object:
+an :class:`ObsSession` owns the optional :class:`~repro.obs.trace.TraceSession`
+and the optional :class:`~repro.obs.metrics.MetricsRegistry`, hands the
+right tracer/registry (or the null objects) to whoever asks, and
+finalizes everything — merge the worker part files, prepend the
+campaign manifest — in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+from .trace import NULL_TRACER, TraceSession
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """Trace sink + metrics registry for one campaign/experiment run."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        metrics: bool = False,
+    ) -> None:
+        self.trace: Optional[TraceSession] = (
+            TraceSession(trace_path) if trace_path else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+        self.manifest: Optional[RunManifest] = None
+
+    # -- what the layers consume --------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when anything is actually being collected."""
+        return self.trace is not None or self.metrics is not None
+
+    @property
+    def tracer(self):
+        """The parent-side tracer (the null tracer when tracing is off)."""
+        return self.trace.tracer if self.trace is not None else NULL_TRACER
+
+    @property
+    def parts_dir(self) -> Optional[str]:
+        """Directory worker jobs write their trace parts into."""
+        return self.trace.parts_dir if self.trace is not None else None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stamp(
+        self,
+        experiment: str,
+        params: Optional[Dict[str, Any]] = None,
+        base_seed: Optional[int] = None,
+    ) -> Optional[RunManifest]:
+        """Create the campaign manifest (written at finalize time)."""
+        if not self.enabled:
+            return None
+        self.manifest = RunManifest.for_campaign(
+            experiment, params=params, base_seed=base_seed
+        )
+        return self.manifest
+
+    def finalize(self, **outcome: Any) -> int:
+        """Merge trace parts (manifest first); returns the record count."""
+        if self.manifest is not None and outcome:
+            self.manifest.finish(**outcome)
+        if self.trace is None:
+            return 0
+        head = []
+        if self.manifest is not None:
+            head.append(self.manifest.as_record())
+        return self.trace.finalize(head=head)

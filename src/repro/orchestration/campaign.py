@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..obs.trace import NULL_TRACER
 from .executor import (
     CampaignExecutionError,
     CampaignExecutor,
@@ -61,13 +62,17 @@ def _run_specs(
     strict: bool,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> List[CampaignCell]:
     """Execute specs and convert outcomes, enforcing error policy.
 
     ``strict=True`` (the default) raises
     :class:`~repro.orchestration.executor.CampaignExecutionError` if any
     cell failed — after every other cell has finished; ``strict=False``
-    silently drops failed cells from the result.
+    silently drops failed cells from the result.  ``tracer``/``metrics``
+    feed the executor's parent-side observability (cell spans, pool
+    events, utilization); the defaults collect nothing.
     """
 
     def on_outcome(outcome: CellOutcome) -> None:
@@ -75,7 +80,11 @@ def _run_specs(
             progress(_cell_from(outcome))
 
     executor = CampaignExecutor(
-        workers=workers, cell_timeout=cell_timeout, cell_retries=cell_retries
+        workers=workers,
+        cell_timeout=cell_timeout,
+        cell_retries=cell_retries,
+        tracer=tracer,
+        metrics=metrics,
     )
     outcomes = executor.run(specs, progress=on_outcome)
     failures = [outcome for outcome in outcomes if not outcome.ok]
@@ -121,6 +130,8 @@ def run_redundancy_sweep(
     strict: bool = True,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> List[CampaignCell]:
     """The Table 4 grid: completion time per (MTBF, redundancy) cell.
 
@@ -132,7 +143,16 @@ def run_redundancy_sweep(
     broken-pool resubmissions (pool mode only).
     """
     specs = redundancy_sweep_specs(base, node_mtbfs, degrees, seed_offset)
-    return _run_specs(specs, progress, workers, strict, cell_timeout, cell_retries)
+    return _run_specs(
+        specs,
+        progress,
+        workers,
+        strict,
+        cell_timeout,
+        cell_retries,
+        tracer=tracer,
+        metrics=metrics,
+    )
 
 
 def failure_free_sweep_specs(
@@ -162,6 +182,8 @@ def run_failure_free_sweep(
     strict: bool = True,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> List[CampaignCell]:
     """The Table 5 sweep: failure-free execution time vs redundancy.
 
@@ -169,7 +191,16 @@ def run_failure_free_sweep(
     the pure redundancy overhead (Figure 10's super-linear curve).
     """
     specs = failure_free_sweep_specs(base, degrees)
-    return _run_specs(specs, progress, workers, strict, cell_timeout, cell_retries)
+    return _run_specs(
+        specs,
+        progress,
+        workers,
+        strict,
+        cell_timeout,
+        cell_retries,
+        tracer=tracer,
+        metrics=metrics,
+    )
 
 
 def cells_to_matrix(

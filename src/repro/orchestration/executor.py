@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ReproError
+from ..obs.trace import NULL_TRACER
 from .job import JobConfig, JobReport, ResilientJob
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -189,6 +190,14 @@ class CampaignExecutor:
         How many times a cell lost to a broken pool is resubmitted
         before being synthesized as a failed outcome.  ``None``
         consults ``REPRO_CELL_RETRIES``; default 2.
+    tracer:
+        Parent-side :class:`~repro.obs.trace.Tracer` for wall-clock
+        cell spans and pool events (queue/run timings, timeouts,
+        rebuilds).  Defaults to the null tracer: zero overhead.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` that
+        receives cell counters, wall-time histograms and the final
+        worker-utilization gauge.
     """
 
     #: Fresh pools built after breakage before the remaining cells are
@@ -200,10 +209,14 @@ class CampaignExecutor:
         workers: Optional[int] = None,
         cell_timeout: Optional[float] = None,
         cell_retries: Optional[int] = None,
+        tracer=NULL_TRACER,
+        metrics=None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cell_timeout = resolve_cell_timeout(cell_timeout)
         self.cell_retries = resolve_cell_retries(cell_retries)
+        self.tracer = tracer
+        self.metrics = metrics
         #: How the last :meth:`run` actually executed ("serial"/"process").
         self.last_mode: Optional[str] = None
         #: Broken-pool events survived during the last :meth:`run`.
@@ -212,6 +225,10 @@ class CampaignExecutor:
         self.cells_resubmitted = 0
         #: Cells failed by the wall-clock timeout during the last run.
         self.cells_timed_out = 0
+        #: Open per-cell spans + wall start stamps, keyed by spec index.
+        self._cell_spans: Dict[int, tuple] = {}
+        #: Summed per-cell wall time (utilization numerator).
+        self._busy_seconds = 0.0
 
     # -- public API ---------------------------------------------------------
 
@@ -231,20 +248,91 @@ class CampaignExecutor:
         self.pool_breakages = 0
         self.cells_resubmitted = 0
         self.cells_timed_out = 0
+        self._cell_spans = {}
+        self._busy_seconds = 0.0
         if not specs:
             return []
-        if self.workers <= 1 or len(specs) == 1 or not self._poolable(specs):
-            return self._run_serial(specs, progress)
+        started = time.monotonic()
+        campaign_span = self.tracer.begin(
+            "campaign", cells=len(specs), workers=self.workers
+        )
         try:
-            return self._run_pool(specs, progress)
-        except (OSError, PermissionError, ImportError, BrokenProcessPool):
-            # Pool could not be created or broke beyond repair —
-            # BrokenProcessPool is a RuntimeError subclass, so it must
-            # be caught explicitly (a pool whose creation half-succeeds
-            # surfaces it here rather than OSError).  The cells
-            # themselves are untouched, so serial is equivalent.
-            self.last_mode = "serial-fallback"
-            return self._run_serial(specs, progress)
+            if self.workers <= 1 or len(specs) == 1 or not self._poolable(specs):
+                outcomes = self._run_serial(specs, progress)
+            else:
+                try:
+                    outcomes = self._run_pool(specs, progress)
+                except (OSError, PermissionError, ImportError, BrokenProcessPool):
+                    # Pool could not be created or broke beyond repair —
+                    # BrokenProcessPool is a RuntimeError subclass, so it
+                    # must be caught explicitly (a pool whose creation
+                    # half-succeeds surfaces it here rather than
+                    # OSError).  The cells themselves are untouched, so
+                    # serial is equivalent.
+                    self.last_mode = "serial-fallback"
+                    self.tracer.event("serial_fallback")
+                    outcomes = self._run_serial(specs, progress)
+        finally:
+            elapsed = time.monotonic() - started
+            lanes = self.workers if self.last_mode == "process" else 1
+            utilization = (
+                self._busy_seconds / (elapsed * lanes) if elapsed > 0.0 else 0.0
+            )
+            campaign_span.end(
+                mode=self.last_mode,
+                utilization=round(utilization, 4),
+                pool_breakages=self.pool_breakages,
+                cells_resubmitted=self.cells_resubmitted,
+                cells_timed_out=self.cells_timed_out,
+            )
+            if self.metrics is not None:
+                self.metrics.gauge("campaign.workers").set(self.workers)
+                self.metrics.gauge("campaign.utilization").set(utilization)
+                self.metrics.counter("campaign.pool_breakages").inc(
+                    self.pool_breakages
+                )
+                self.metrics.counter("campaign.cells_resubmitted").inc(
+                    self.cells_resubmitted
+                )
+                self.metrics.counter("campaign.cells_timed_out").inc(
+                    self.cells_timed_out
+                )
+        return outcomes
+
+    # -- observability ------------------------------------------------------
+
+    def _begin_cell(self, index: int, spec: CellSpec) -> None:
+        """Open the wall-clock span for one cell (at submit/run time)."""
+        span = self.tracer.begin(
+            "cell", index=index, mtbf=spec.node_mtbf, r=spec.redundancy
+        )
+        self._cell_spans[index] = (span, time.monotonic())
+
+    def _finish_cell(
+        self, index: int, outcome: Optional[CellOutcome], status: str = ""
+    ) -> None:
+        """Close a cell's span and fold its wall time into the metrics."""
+        entry = self._cell_spans.pop(index, None)
+        seconds = 0.0
+        if entry is not None:
+            span, cell_started = entry
+            seconds = time.monotonic() - cell_started
+            if not status:
+                if outcome is None:
+                    status = "lost"
+                else:
+                    status = outcome.error_type or "ok"
+            span.end(
+                ok=outcome.ok if outcome is not None else False,
+                status=status,
+                seconds=round(seconds, 6),
+            )
+        self._busy_seconds += seconds
+        if self.metrics is not None and outcome is not None:
+            self.metrics.counter("campaign.cells").inc()
+            if not outcome.ok:
+                self.metrics.counter("campaign.cell_failures").inc()
+            self.metrics.histogram("campaign.cell_wall_seconds").observe(seconds)
 
     # -- execution paths ----------------------------------------------------
 
@@ -265,11 +353,13 @@ class CampaignExecutor:
         if self.last_mode != "serial-fallback":
             self.last_mode = "serial"
         outcomes = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
+            self._begin_cell(index, spec)
             report, error_type, error = _execute_spec(spec)
             outcome = CellOutcome(
                 spec=spec, report=report, error=error, error_type=error_type
             )
+            self._finish_cell(index, outcome)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
@@ -292,6 +382,9 @@ class CampaignExecutor:
             except BrokenProcessPool as breakage:
                 self.pool_breakages += 1
                 rebuilds += 1
+                self.tracer.event(
+                    "pool_breakage", rebuilds=rebuilds, error=str(breakage)
+                )
                 if rebuilds == 1 and not any(outcomes):
                     # Nothing ever completed: the pool likely never
                     # worked at all (creation half-succeeded).  Let the
@@ -310,9 +403,12 @@ class CampaignExecutor:
                         outcomes[index] = self._lost_outcome(
                             specs[index], breakage, lost_counts[index]
                         )
+                        self._finish_cell(index, outcomes[index], status="lost")
                         if progress is not None:
                             progress(outcomes[index])
                     else:
+                        self._finish_cell(index, None, status="resubmitted")
+                        self.tracer.event("cell_resubmitted", index=index)
                         survivors.append(index)
                 self.cells_resubmitted += len(survivors)
                 todo = survivors
@@ -359,6 +455,10 @@ class CampaignExecutor:
             def fill() -> None:
                 while queue and len(pending) < workers:
                     index = queue.popleft()
+                    # The submit window equals the worker count, so a
+                    # submitted cell is running: its span measures run
+                    # time, not queue time.
+                    self._begin_cell(index, specs[index])
                     future = pool.submit(_execute_spec, specs[index])
                     pending[future] = index
                     if self.cell_timeout is not None:
@@ -387,6 +487,7 @@ class CampaignExecutor:
                         error_type=error_type,
                     )
                     outcomes[index] = outcome
+                    self._finish_cell(index, outcome)
                     if progress is not None:
                         progress(outcome)
                 overdue = self._collect_overdue(pending, deadlines)
@@ -404,6 +505,10 @@ class CampaignExecutor:
                                 "wall-clock timeout"
                             ),
                         )
+                        self._finish_cell(index, outcomes[index], status="timeout")
+                        self.tracer.event(
+                            "cell_timeout", index=index, limit=self.cell_timeout
+                        )
                         if progress is not None:
                             progress(outcomes[index])
                     # The overdue cells' workers are still grinding;
@@ -412,6 +517,10 @@ class CampaignExecutor:
                     abandoned = True
                     self._terminate_workers(pool)
                     pool.shutdown(wait=False, cancel_futures=True)
+                    # Survivors move to a fresh pool: close their spans
+                    # (a new one opens when they are resubmitted).
+                    for index in pending.values():
+                        self._finish_cell(index, None, status="repooled")
                     return list(pending.values()) + list(queue)
                 fill()
             return []

@@ -40,6 +40,8 @@ from ..models.checkpointing import daly_interval
 from ..models.redundancy import redundant_time, system_mtbf
 from ..mpi import SimMPI
 from ..netsim import AlphaBetaModel, Fabric
+from ..obs.manifest import RunManifest
+from ..obs.trace import NULL_TRACER, Tracer
 from ..redundancy import ALL_TO_ALL, RedComm, ReplicaMap, SphereTracker
 from ..redundancy.voting import MODES
 from ..rng import StreamRegistry
@@ -93,6 +95,14 @@ class JobConfig:
     checkpoint_max_retries: int = 2
     #: Initial backoff before a checkpoint retry (doubles, capped).
     checkpoint_retry_backoff: float = 0.05
+    #: Observability: directory this job writes its trace part file
+    #: into (``None`` disables tracing — the default — and keeps the
+    #: whole pipeline on the null tracer, bit-identical to untraced).
+    #: A plain string so configs still pickle across pool workers.
+    trace_dir: Optional[str] = None
+    #: Label stamped on every trace record ("job" field).  ``None``
+    #: derives one from the cell coordinates and seed.
+    trace_label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.virtual_processes < 1:
@@ -182,6 +192,11 @@ class JobReport:
     checkpoints_committed: int
     time_in_checkpoints: float
     result: Any
+    #: Wallclock the *application* spent checkpointing: the union of
+    #: per-rank checkpoint windows (``time_in_checkpoints`` sums the
+    #: overlapping per-rank windows, so it overcounts by ~the rank
+    #: count; this is the phase-breakdown quantity).
+    checkpoint_union_time: float = 0.0
     counters: Dict[str, float] = field(default_factory=dict)
     checkpoint_interval: Optional[float] = None
     physical_processes: int = 0
@@ -219,9 +234,18 @@ class ResilientJob:
         self._failures_delivered = 0
         self._timeline: list = []
         self._env: Optional[Environment] = None
+        self._tracer = NULL_TRACER
 
     def _log(self, env: Environment, kind: str, detail: str = "") -> None:
         self._timeline.append(TimelineEvent(time=env.now, kind=kind, detail=detail))
+        self._tracer.event(kind, sim_time=env.now, detail=detail)
+
+    def _trace_label(self) -> str:
+        cfg = self.config
+        if cfg.trace_label:
+            return cfg.trace_label
+        mtbf = 0.0 if cfg.node_mtbf is None else cfg.node_mtbf
+        return f"r{cfg.redundancy:g}-mtbf{mtbf:g}-seed{cfg.seed}"
 
     # -- injector plumbing ---------------------------------------------------
 
@@ -249,6 +273,14 @@ class ResilientJob:
         cfg = self.config
         env = Environment()
         self._env = env
+        if cfg.trace_dir is not None:
+            # The tracer only *reads* env.now: even a traced run is
+            # sim-identical to an untraced one.
+            self._tracer = Tracer(common={"job": self._trace_label()})
+            self._tracer.record(
+                "manifest",
+                **RunManifest.for_job(cfg, label=self._trace_label()).as_record(),
+            )
         rng = StreamRegistry(cfg.seed)
         replica_map = ReplicaMap(
             cfg.virtual_processes, cfg.redundancy, strategy=cfg.replica_strategy
@@ -266,7 +298,7 @@ class ResilientJob:
             faults=fault_model,
             keep_sets=cfg.recovery_line_depth,
         )
-        restart_manager = RestartManager(storage)
+        restart_manager = RestartManager(storage, tracer=self._tracer)
         delta = cfg.resolve_interval()
 
         injector = None
@@ -284,6 +316,7 @@ class ResilientJob:
                 kill=self._kill,
                 cr_active=self._cr_active,
                 suppress_during_cr=cfg.suppress_failures_during_cr,
+                tracer=self._tracer,
             )
             injector.start()
 
@@ -292,6 +325,7 @@ class ResilientJob:
         completed = False
         result: Any = None
         total_checkpoint_time = 0.0
+        checkpoint_union_time = 0.0
         checkpoints_skipped = 0
         checkpoint_retries = 0
         checkpoint_write_failures = 0
@@ -300,10 +334,18 @@ class ResilientJob:
         while True:
             attempts += 1
             self._log(env, "attempt_start", f"attempt {attempts}")
+            # The attempt and restart spans tile the whole run: the
+            # clock only advances inside them, so the trace report can
+            # reconcile phase sums against total_time *exactly*.
+            attempt_span = self._tracer.begin(
+                "attempt", sim_time=env.now, attempt=attempts
+            )
             attempt = self._run_attempt(
                 env, rng, replica_map, storage, restart_manager, restored, delta
             )
+            attempt_span.end(sim_time=env.now, completed=attempt["completed"])
             total_checkpoint_time += attempt["checkpoint_time"]
+            checkpoint_union_time += attempt["checkpoint_union"]
             checkpoints_skipped += attempt["checkpoints_skipped"]
             checkpoint_retries += attempt["checkpoint_retries"]
             checkpoint_write_failures += attempt["checkpoint_write_failures"]
@@ -318,7 +360,11 @@ class ResilientJob:
                 break
             restart_manager.note_rollback()
             self._log(env, "rollback", f"to step {restart_manager.line.step if restart_manager.has_checkpoint else 0}")
+            restart_span = self._tracer.begin(
+                "restart", sim_time=env.now, attempt=attempts
+            )
             self._pay_restart(env, storage, restart_manager)
+            restart_span.end(sim_time=env.now)
             self._log(env, "restart_paid", "")
             if restart_manager.has_checkpoint:
                 try:
@@ -359,6 +405,22 @@ class ResilientJob:
             )
         self._timeline.sort(key=lambda event: event.time)
         self._env = None
+        if self._tracer.enabled:
+            self._tracer.record(
+                "summary",
+                completed=completed,
+                total_time=env.now,
+                attempts=attempts,
+                failures_injected=self._failures_delivered,
+                rollbacks=restart_manager.rollbacks,
+                checkpoints_committed=restart_manager.commits,
+                time_in_checkpoints=total_checkpoint_time,
+                checkpoint_union_time=checkpoint_union_time,
+                checkpoint_interval=delta,
+                physical_processes=total_physical,
+            )
+            self._tracer.write_part(cfg.trace_dir, label=self._trace_label())
+            self._tracer = NULL_TRACER
         return JobReport(
             completed=completed,
             total_time=env.now,
@@ -367,6 +429,7 @@ class ResilientJob:
             rollbacks=restart_manager.rollbacks,
             checkpoints_committed=restart_manager.commits,
             time_in_checkpoints=total_checkpoint_time,
+            checkpoint_union_time=checkpoint_union_time,
             result=result,
             counters=merged_counters,
             checkpoint_interval=delta,
@@ -434,6 +497,7 @@ class ResilientJob:
                     retry_backoff=cfg.checkpoint_retry_backoff,
                     max_backoff=max(1.0, cfg.checkpoint_retry_backoff),
                 ),
+                tracer=self._tracer,
             )
         self._service = service
 
@@ -465,6 +529,7 @@ class ResilientJob:
         env.run(until=AnyOf(env, [everyone, failed_event]))
 
         checkpoint_time = service.time_in_checkpoints if service else 0.0
+        checkpoint_union = service.checkpoint_union_time if service else 0.0
         counters = world.counters.as_dict()
         chaos_stats = {
             "checkpoints_skipped": service.checkpoints_skipped if service else 0,
@@ -481,6 +546,7 @@ class ResilientJob:
                 "completed": True,
                 "result": lead_result,
                 "checkpoint_time": checkpoint_time,
+                "checkpoint_union": checkpoint_union,
                 "counters": counters,
                 **chaos_stats,
             }
@@ -493,6 +559,7 @@ class ResilientJob:
             "completed": False,
             "result": None,
             "checkpoint_time": checkpoint_time,
+            "checkpoint_union": checkpoint_union,
             "counters": counters,
             **chaos_stats,
         }

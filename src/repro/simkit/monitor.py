@@ -1,74 +1,41 @@
 """Time-series probes and counters for simulation observability.
 
 Experiments need per-run statistics (messages sent, bytes moved,
-checkpoints taken, failures injected, time in each phase).  These tiny
-collectors keep that bookkeeping out of the substrate logic.
+checkpoints taken, failures injected, time in each phase).  The data
+structures live in :mod:`repro.obs.metrics` — these wrappers only bind
+them to a simulation :class:`~repro.simkit.env.Environment` clock, so
+the substrate keeps its historical API while the observability layer
+owns the actual bookkeeping (and its snapshot/merge protocol).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING
+
+from ..obs.metrics import CounterBag, TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .env import Environment
 
 
-class Monitor:
-    """Records (time, value) samples of one quantity."""
+class Monitor(TimeSeries):
+    """Records (time, value) samples stamped with the simulation clock."""
 
     def __init__(self, env: "Environment", name: str = "") -> None:
+        super().__init__(name=name)
         self.env = env
-        self.name = name
-        self.samples: List[Tuple[float, float]] = []
 
     def record(self, value: float) -> None:
         """Append a sample stamped with the current simulation time."""
-        self.samples.append((self.env.now, float(value)))
-
-    @property
-    def values(self) -> List[float]:
-        """Just the sampled values, in time order."""
-        return [value for _time, value in self.samples]
-
-    def mean(self) -> float:
-        """Arithmetic mean of the samples (0.0 when empty)."""
-        if not self.samples:
-            return 0.0
-        return sum(self.values) / len(self.samples)
-
-    def total(self) -> float:
-        """Sum of the samples."""
-        return sum(self.values)
-
-    def __len__(self) -> int:
-        return len(self.samples)
+        self.sample(self.env.now, value)
 
 
-class Counter:
+class Counter(CounterBag):
     """A named bag of monotonically increasing counters.
 
     >>> from repro.simkit import Environment, Counter
     >>> counters = Counter()
     >>> counters.add("messages", 2)
     >>> counters["messages"]
-    2
+    2.0
     """
-
-    def __init__(self) -> None:
-        self._counts: Dict[str, float] = {}
-
-    def add(self, name: str, amount: float = 1.0) -> None:
-        """Increment ``name`` by ``amount``."""
-        self._counts[name] = self._counts.get(name, 0.0) + amount
-
-    def __getitem__(self, name: str) -> float:
-        return self._counts.get(name, 0.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        """Snapshot of all counters."""
-        return dict(self._counts)
-
-    def merge(self, other: "Counter") -> None:
-        """Fold another counter bag into this one."""
-        for name, amount in other._counts.items():
-            self.add(name, amount)

@@ -2,9 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.simkit import Environment
+
+# Falsifying examples must be reproducible from a CI log alone:
+# ``print_blob=True`` makes every hypothesis failure print an
+# ``@reproduce_failure`` blob, the ``.hypothesis/examples`` database is
+# uploaded as a CI artifact on failure, and the run header below echoes
+# the ``--hypothesis-seed`` in effect.
+settings.register_profile("repro", print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+def pytest_report_header(config):
+    """Print the hypothesis derandomization seed for this run."""
+    seed = getattr(config.option, "hypothesis_seed", None)
+    shown = seed if seed is not None else "random (per test)"
+    return (
+        f"hypothesis: profile=repro, seed={shown} — rerun a failure "
+        "deterministically with --hypothesis-seed=<seed from CI log> or "
+        "the printed @reproduce_failure blob"
+    )
 
 
 @pytest.fixture
