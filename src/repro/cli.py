@@ -72,6 +72,37 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flags(subparser: argparse.ArgumentParser) -> None:
+    """Results-store knobs shared by the sweep/serve subcommands."""
+    subparser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="results-store directory (default: REPRO_STORE env); finished "
+        "cells are persisted and already-stored cells are restored",
+    )
+    subparser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the default store (.repro-store) when no --store "
+        "or REPRO_STORE is given",
+    )
+    subparser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the results store even if REPRO_STORE is set",
+    )
+
+
+def _resolve_store(args):
+    """Build the ResultsStore selected by the store flags (or None)."""
+    from .store import resolve_store
+
+    return resolve_store(
+        path=args.store, resume=args.resume, disabled=args.no_store
+    )
+
+
 def _add_pool_hardening_flags(subparser: argparse.ArgumentParser) -> None:
     """Self-healing executor knobs shared by the sweep subcommands."""
     subparser.add_argument(
@@ -130,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_hardening_flags(campaign)
     _add_obs_flags(campaign)
+    _add_store_flags(campaign)
     campaign.add_argument(
         "overrides",
         nargs="*",
@@ -153,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_hardening_flags(chaos)
     _add_obs_flags(chaos)
+    _add_store_flags(chaos)
     chaos.add_argument(
         "overrides",
         nargs="*",
@@ -190,6 +223,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="maximum physical processes available")
     advisor.add_argument("--resource-weight", type=float, default=0.0,
                          help="cost-function weight on node usage")
+    server = commands.add_parser(
+        "serve",
+        help="serve model evaluations and recommendations over JSON "
+        "(batched /evaluate, /recommend, /healthz, /metrics)",
+    )
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    server.add_argument("--port", type=int, default=8787,
+                        help="bind port; 0 picks a free port (default 8787)")
+    server.add_argument("--max-batch", type=int, default=64,
+                        help="most /evaluate requests coalesced into one "
+                        "vectorized grid call (default 64)")
+    server.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="milliseconds a batch waits for company "
+                        "(default 2)")
+    server.add_argument("--queue-limit", type=int, default=256,
+                        help="bounded request queue; beyond it requests are "
+                        "shed with 429 (default 256)")
+    _add_store_flags(server)
+    bench = commands.add_parser(
+        "bench-serve",
+        help="load-test the serving endpoint and write BENCH_serve.json",
+    )
+    bench.add_argument("--threads", type=int, default=8,
+                       help="client threads (default 8)")
+    bench.add_argument("--requests", type=int, default=200,
+                       help="requests per thread (default 200)")
+    bench.add_argument("--max-batch", type=int, default=64,
+                       help="server-side batch bound (default 64)")
+    bench.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="server-side batch window in ms (default 2)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small run: <=4 threads x 25 requests")
+    bench.add_argument("--output", default="BENCH_serve.json",
+                       help="report path (default BENCH_serve.json)")
     return parser
 
 
@@ -243,6 +311,18 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         return 0
+    if args.command == "serve":
+        try:
+            return _serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "bench-serve":
+        try:
+            return _bench_serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     parser.print_help()
     return 1
 
@@ -263,6 +343,7 @@ def _campaign(args) -> int:
         )
 
     obs = ObsSession(trace_path=args.trace, metrics=args.metrics)
+    store = _resolve_store(args)
     result = run_experiment(
         experiment,
         workers=args.workers,
@@ -270,18 +351,22 @@ def _campaign(args) -> int:
         cell_timeout=args.cell_timeout,
         cell_retries=args.cell_retries,
         obs=obs if obs.enabled else None,
+        store=store,
         **overrides,
     )
     print(result.render())
-    _print_obs(args, obs)
+    _print_obs(args, obs, store)
     return 0
 
 
-def _print_obs(args, obs: ObsSession) -> None:
-    """Shared --trace/--metrics epilogue for the sweep subcommands."""
+def _print_obs(args, obs: ObsSession, store=None) -> None:
+    """Shared --trace/--metrics/--store epilogue for sweep subcommands."""
     if obs.metrics is not None:
         print()
         print(obs.metrics.render())
+    if store is not None:
+        print()
+        print(store.render_stats())
     if args.trace:
         print(f"\ntrace written to {args.trace} "
               f"(render with: repro-exp report {args.trace})")
@@ -302,6 +387,7 @@ def _chaos(args) -> int:
         print(f"  cell p={outcome.spec.redundancy:g}: {status}", flush=True)
 
     obs = ObsSession(trace_path=args.trace, metrics=args.metrics)
+    store = _resolve_store(args)
     result = run_experiment(
         "chaos",
         workers=args.workers,
@@ -309,10 +395,11 @@ def _chaos(args) -> int:
         cell_timeout=args.cell_timeout,
         cell_retries=args.cell_retries,
         obs=obs if obs.enabled else None,
+        store=store,
         **overrides,
     )
     print(result.render())
-    _print_obs(args, obs)
+    _print_obs(args, obs, store)
     return 0
 
 
@@ -367,6 +454,84 @@ def _advise(args) -> str:
         f"why: {outcome.rationale}",
     ]
     return "\n".join(lines)
+
+
+def _serve(args) -> int:
+    """Run the batched model-serving endpoint until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .service import ModelServer
+
+    store = _resolve_store(args)
+
+    async def _main() -> None:
+        server = ModelServer(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1000.0,
+            queue_limit=args.queue_limit,
+            store=store,
+        )
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(batch<={args.max_batch}, window={args.max_wait_ms:g}ms, "
+            f"queue<={args.queue_limit}"
+            + (", store on" if store is not None else "")
+            + ") — SIGTERM drains gracefully",
+            flush=True,
+        )
+        await server.run()
+        print(
+            f"drained: {server.requests} requests, "
+            f"{server.batcher.evaluations} evaluations in "
+            f"{server.batcher.batches} batches",
+            flush=True,
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+def _bench_serve(args) -> int:
+    """Load-test an in-process server and write the BENCH artifact."""
+    from .service import run_bench
+
+    report = run_bench(
+        threads=args.threads,
+        requests_per_thread=args.requests,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1000.0,
+        quick=args.quick,
+        output=args.output,
+    )
+    latency = report["latency_ms"]
+    print(
+        f"bench-serve: {report['requests']} requests over "
+        f"{report['threads']} threads in {report['wall_seconds']}s "
+        f"({report['throughput_rps']} req/s)"
+    )
+    print(
+        f"  latency p50={latency['p50']}ms p90={latency['p90']}ms "
+        f"p99={latency['p99']}ms max={latency['max']}ms"
+    )
+    print(
+        f"  batching: {report['batching']['batches']} batches, "
+        f"mean size {report['batching']['mean_batch_size']:.2f}, "
+        f"{report['batching']['shed']} shed"
+    )
+    print(
+        f"  served == scalar model bit-identical: "
+        f"{report['bit_identical_sample']}"
+    )
+    if args.output:
+        print(f"  report written to {args.output}")
+    if not report["bit_identical_sample"] or report["errors"]:
+        print("error: bench detected mismatches or failed requests",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

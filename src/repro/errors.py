@@ -164,6 +164,40 @@ class CoordinationError(CheckpointError):
 
 
 # --------------------------------------------------------------------------
+# Results store
+# --------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for results-store errors (keys, codecs, backend)."""
+
+
+class UnkeyableError(StoreError):
+    """A value cannot be canonically serialized into a cache key."""
+
+
+class CodecError(StoreError):
+    """A stored payload cannot be decoded back into its object."""
+
+
+# --------------------------------------------------------------------------
+# Serving layer
+# --------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for model-serving errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded request queue is full; the request was shed."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining/stopped and accepts no new requests."""
+
+
+# --------------------------------------------------------------------------
 # Analytic models
 # --------------------------------------------------------------------------
 

@@ -166,13 +166,15 @@ def run(
     cell_retries: Optional[int] = None,
     progress=None,
     obs: Optional[ObsSession] = None,
+    store=None,
 ) -> ExperimentResult:
     """Sweep T_total vs storage-fault probability in both chaos modes.
 
     ``quick=True`` shrinks the probability grid; ``workers`` fans the
     cells out over the self-healing process-pool executor (with
     ``cell_timeout``/``cell_retries`` bounding each cell).  ``obs``
-    turns on tracing/metrics (see :mod:`repro.obs`).
+    turns on tracing/metrics (see :mod:`repro.obs`); ``store`` makes
+    the sweep resumable (see :mod:`repro.store`).
     """
     setup = setup or ChaosSetup()
     if quick:
@@ -221,6 +223,7 @@ def run(
         cell_retries=cell_retries,
         tracer=obs.tracer if obs is not None else NULL_TRACER,
         metrics=obs.metrics if obs is not None else None,
+        store=store,
     )
     outcomes = executor.run(specs, progress=progress)
     if obs is not None and obs.enabled:

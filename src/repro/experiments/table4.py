@@ -120,6 +120,7 @@ def run(
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
     obs: Optional[ObsSession] = None,
+    store=None,
 ) -> ExperimentResult:
     """Run the campaign grid and render the Table 4 matrix.
 
@@ -130,7 +131,10 @@ def run(
     :class:`~repro.obs.ObsSession`) turns on tracing/metrics: every
     cell's job writes a trace part, merged into one JSONL file at the
     end.  Tracing never touches the simulation clock, so traced results
-    equal untraced ones.
+    equal untraced ones.  ``store`` (a
+    :class:`~repro.store.ResultsStore`) makes the campaign resumable:
+    stored cells are restored instead of re-run and completed cells are
+    persisted as they finish.
     """
     setup = setup or ScaledSetup()
     if quick:
@@ -156,6 +160,7 @@ def run(
         cell_retries=cell_retries,
         tracer=obs.tracer if obs is not None else NULL_TRACER,
         metrics=obs.metrics if obs is not None else None,
+        store=store,
     )
     if obs is not None and obs.enabled:
         obs.finalize(cells=len(cells))

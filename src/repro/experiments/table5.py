@@ -36,12 +36,14 @@ def run(
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
     obs: Optional[ObsSession] = None,
+    store=None,
 ) -> ExperimentResult:
     """Run the failure-free sweep and compare to the linear expectation.
 
     ``workers`` (or ``REPRO_WORKERS``) runs the per-degree cells in a
     process pool; results are identical to the serial sweep.  ``obs``
-    turns on tracing/metrics (see :mod:`repro.obs`).
+    turns on tracing/metrics (see :mod:`repro.obs`); ``store`` makes
+    the sweep resumable (see :mod:`repro.store`).
     """
     setup = setup or ScaledSetup()
     base = setup.job_config()
@@ -62,6 +64,7 @@ def run(
         cell_retries=cell_retries,
         tracer=obs.tracer if obs is not None else NULL_TRACER,
         metrics=obs.metrics if obs is not None else None,
+        store=store,
     )
     if obs is not None and obs.enabled:
         obs.finalize(cells=len(cells))

@@ -88,13 +88,20 @@ from .optimize import (
     throughput_break_even,
 )
 from .redundancy import PAPER_REDUNDANCY_GRID, shadow_hit_probability
-from .advisor import Recommendation, recommend
+from .advisor import (
+    Recommendation,
+    clear_recommend_cache,
+    recommend,
+    recommend_cache_info,
+)
 from .cost import node_hours, weighted_cost
 
 __all__ = [
     "PAPER_REDUNDANCY_GRID",
     "Recommendation",
     "recommend",
+    "recommend_cache_info",
+    "clear_recommend_cache",
     "CombinedModel",
     "ModelGrid",
     "clear_model_cache",

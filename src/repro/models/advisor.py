@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError, ModelDivergence
@@ -81,7 +82,37 @@ def recommend(
         expected completion time.
     ConfigurationError
         When the budget excludes every candidate.
+
+    Calls are memoized on the exact input tuple (the model is a frozen
+    dataclass, so it hashes by value): the advisor is pure, and serving
+    it interactively (see :mod:`repro.service`) hits the same few
+    machine descriptions over and over.  See
+    :func:`recommend_cache_info` / :func:`clear_recommend_cache`.
     """
+    return _cached_recommend(
+        model, tuple(float(d) for d in grid), node_budget,
+        float(time_weight), float(resource_weight),
+    )
+
+
+def recommend_cache_info():
+    """Hit/miss statistics of the :func:`recommend` memo cache."""
+    return _cached_recommend.cache_info()
+
+
+def clear_recommend_cache() -> None:
+    """Drop every memoized :func:`recommend` result."""
+    _cached_recommend.cache_clear()
+
+
+@lru_cache(maxsize=4096)
+def _cached_recommend(
+    model: CombinedModel,
+    grid: Sequence[float],
+    node_budget: Optional[int],
+    time_weight: float,
+    resource_weight: float,
+) -> Recommendation:
     if node_budget is not None and node_budget < model.virtual_processes:
         raise ConfigurationError(
             f"node budget {node_budget} cannot host even r=1 "

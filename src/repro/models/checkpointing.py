@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError, ModelDivergence
 
 
@@ -72,9 +74,12 @@ def expected_lost_work(delta: float, checkpoint_cost: float, mtbf: float) -> flo
     _validate_non_negative("checkpoint_cost", checkpoint_cost)
     _validate_positive("mtbf", mtbf)
     delta_c = delta + checkpoint_cost
-    denominator = -math.expm1(-delta_c / mtbf)
-    numerator = (
-        -mtbf * math.expm1(-delta / mtbf) - delta * math.exp(-delta_c / mtbf)
+    # numpy scalar ufuncs keep this bit-identical to the vectorized
+    # pipeline in repro.models.grid (see reliability.py's substrate
+    # note).
+    denominator = float(-np.expm1(-delta_c / mtbf))
+    numerator = float(
+        -mtbf * np.expm1(-delta / mtbf) - delta * np.exp(-delta_c / mtbf)
     )
     # Enforce the mathematical bound numerically: for delta << mtbf the
     # two terms of the numerator cancel to machine precision and can
@@ -109,8 +114,8 @@ def expected_restart_rework(
     x = restart_cost + lost_work
     if x == 0.0:
         return 0.0
-    survive = math.exp(-x / mtbf)
-    fail = -math.expm1(-x / mtbf)
+    survive = float(np.exp(-x / mtbf))
+    fail = float(-np.expm1(-x / mtbf))
     truncated_expectation = mtbf - survive * (x + mtbf)
     return fail * truncated_expectation + survive * x
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .combined import INTERVAL_RULES, CombinedModel
+from .reliability import integer_power
 
 __all__ = [
     "ModelGrid",
@@ -92,6 +93,22 @@ class ModelGrid:
 
 def _as_float(value) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
+
+
+def _sphere_power(p: np.ndarray, levels: np.ndarray) -> np.ndarray:
+    """``p ** levels`` for integer-valued level arrays, bit-identical to
+    the scalar path's :func:`~repro.models.reliability.integer_power`.
+
+    ``np.power``'s array loop and numpy's scalar path disagree in the
+    last ULP for some inputs (e.g. squaring), so the sphere failure
+    probability is computed with the same ascending multiply chain the
+    scalar model uses, one chain per distinct replication level.
+    """
+    result = np.empty_like(p)
+    for level in np.unique(levels):
+        mask = levels == level
+        result[mask] = integer_power(p[mask], int(level))
+    return result
 
 
 def evaluate_grid(
@@ -178,7 +195,7 @@ def evaluate_grid(
         dead = np.zeros(shape, dtype=bool)
         for count, level in ((floor_count, floor_level), (ceil_count, ceil_level)):
             active = count > 0
-            sphere_fail = np.power(p, level)
+            sphere_fail = _sphere_power(p, level)
             dead |= active & (sphere_fail >= 1.0)
             term = np.where(
                 active & (sphere_fail < 1.0),

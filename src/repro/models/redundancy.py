@@ -20,8 +20,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from .reliability import node_failure_probability
+from .reliability import integer_power, node_failure_probability
 
 #: Redundancy degrees the paper sweeps (1x .. 3x in 0.25 steps).
 PAPER_REDUNDANCY_GRID = tuple(1.0 + 0.25 * i for i in range(9))
@@ -159,6 +161,12 @@ def system_reliability(
 
     Computed in log space: at the paper's scales (``N`` up to 10^6) the
     direct product underflows.
+
+    Bit-identical to the vectorized pipeline in
+    :mod:`repro.models.grid`: transcendentals go through numpy's scalar
+    ufuncs and sphere powers through
+    :func:`~repro.models.reliability.integer_power`, in the same
+    floor-then-ceil accumulation order.
     """
     part = partition_processes(virtual_processes, redundancy)
     p = node_failure_probability(exposure_time, node_mtbf, exact=exact)
@@ -166,11 +174,11 @@ def system_reliability(
     for count, level in ((part.floor_count, part.floor_level), (part.ceil_count, part.ceil_level)):
         if count == 0:
             continue
-        sphere_fail = p**level
+        sphere_fail = integer_power(p, level)
         if sphere_fail >= 1.0:
             return 0.0
-        log_r += count * math.log1p(-sphere_fail)
-    return math.exp(log_r)
+        log_r = log_r + count * float(np.log1p(-sphere_fail))
+    return float(np.exp(log_r))
 
 
 def system_failure_rate(
@@ -192,7 +200,7 @@ def system_failure_rate(
     )
     if r_sys <= 0.0:
         return math.inf
-    return -math.log(r_sys) / exposure_time
+    return float(-np.log(r_sys) / exposure_time)
 
 
 def system_mtbf(

@@ -14,13 +14,43 @@ so the ablation benchmark can quantify the linearisation error.
 The linearised probability is clamped to ``[0, 1]`` — for very unreliable
 configurations (``t > theta``) the raw linearisation exceeds 1 and would
 otherwise produce negative reliabilities downstream in Eq. 9.
+
+Arithmetic substrate: every transcendental on the model's evaluation
+path goes through :mod:`numpy`'s scalar ufuncs (``np.expm1`` here) and
+integer powers through :func:`integer_power`, so the scalar pipeline is
+**bit-identical** to the vectorized :mod:`repro.models.grid` pipeline —
+numpy's element-wise loops give the same last-ULP result for a batch of
+one and a batch of a thousand, while ``libm``'s ``math.*`` functions do
+not always agree with them.  The serving layer's batched answers equal
+direct scalar calls because of this invariant; don't reintroduce
+``math.exp``-family calls on this path.
 """
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from ..errors import ConfigurationError
+
+
+def integer_power(base, exponent: int):
+    """``base ** exponent`` by ascending repeated multiplication.
+
+    ``pow``'s result differs between numpy's scalar path, numpy's array
+    loops and libm; a fixed multiply chain is correctly rounded per step
+    and therefore bit-identical for Python floats and numpy arrays
+    alike.  Exponents on the model path are sphere replication levels —
+    tiny integers — so the chain is short.  Works element-wise when
+    ``base`` is an array.
+    """
+    if exponent < 1:
+        raise ConfigurationError(
+            f"integer_power exponent must be >= 1, got {exponent}"
+        )
+    result = base
+    for _ in range(int(exponent) - 1):
+        result = result * base
+    return result
 
 
 def _validate_time(t: float) -> None:
@@ -50,7 +80,7 @@ def node_failure_probability(t: float, theta: float, exact: bool = False) -> flo
     _validate_time(t)
     _validate_mtbf(theta)
     if exact:
-        return -math.expm1(-t / theta)
+        return float(-np.expm1(-t / theta))
     return min(1.0, t / theta)
 
 
@@ -77,4 +107,4 @@ def sphere_reliability(t: float, theta: float, k: int, exact: bool = False) -> f
     if not isinstance(k, int) or k < 1:
         raise ConfigurationError(f"sphere redundancy k must be an int >= 1, got {k!r}")
     failure = node_failure_probability(t, theta, exact=exact)
-    return 1.0 - failure**k
+    return 1.0 - integer_power(failure, k)

@@ -36,6 +36,8 @@ class CampaignCell:
     node_mtbf: Optional[float]
     redundancy: float
     report: JobReport
+    #: True when the report came from the results store (resumed run).
+    cached: bool = False
 
     @property
     def minutes(self) -> float:
@@ -52,6 +54,7 @@ def _cell_from(outcome: CellOutcome) -> CampaignCell:
         node_mtbf=outcome.spec.node_mtbf,
         redundancy=outcome.spec.redundancy,
         report=outcome.report,
+        cached=outcome.cached,
     )
 
 
@@ -64,6 +67,7 @@ def _run_specs(
     cell_retries: Optional[int] = None,
     tracer=NULL_TRACER,
     metrics=None,
+    store=None,
 ) -> List[CampaignCell]:
     """Execute specs and convert outcomes, enforcing error policy.
 
@@ -72,7 +76,11 @@ def _run_specs(
     cell failed — after every other cell has finished; ``strict=False``
     silently drops failed cells from the result.  ``tracer``/``metrics``
     feed the executor's parent-side observability (cell spans, pool
-    events, utilization); the defaults collect nothing.
+    events, utilization); the defaults collect nothing.  ``store`` (a
+    :class:`~repro.store.ResultsStore`) makes the sweep resumable:
+    stored cells are restored instead of re-run — the ``progress``
+    callback still fires for them, with ``cached=True`` on the cell —
+    and completed cells are persisted as they finish.
     """
 
     def on_outcome(outcome: CellOutcome) -> None:
@@ -85,6 +93,7 @@ def _run_specs(
         cell_retries=cell_retries,
         tracer=tracer,
         metrics=metrics,
+        store=store,
     )
     outcomes = executor.run(specs, progress=on_outcome)
     failures = [outcome for outcome in outcomes if not outcome.ok]
@@ -132,6 +141,7 @@ def run_redundancy_sweep(
     cell_retries: Optional[int] = None,
     tracer=NULL_TRACER,
     metrics=None,
+    store=None,
 ) -> List[CampaignCell]:
     """The Table 4 grid: completion time per (MTBF, redundancy) cell.
 
@@ -140,7 +150,8 @@ def run_redundancy_sweep(
     ``REPRO_WORKERS`` env var, else serial) selects the process-pool
     fan-out; results are identical and ordered either way.
     ``cell_timeout``/``cell_retries`` bound wall-clock per cell and
-    broken-pool resubmissions (pool mode only).
+    broken-pool resubmissions (pool mode only); ``store`` resumes the
+    grid from previously persisted cells.
     """
     specs = redundancy_sweep_specs(base, node_mtbfs, degrees, seed_offset)
     return _run_specs(
@@ -152,6 +163,7 @@ def run_redundancy_sweep(
         cell_retries,
         tracer=tracer,
         metrics=metrics,
+        store=store,
     )
 
 
@@ -184,6 +196,7 @@ def run_failure_free_sweep(
     cell_retries: Optional[int] = None,
     tracer=NULL_TRACER,
     metrics=None,
+    store=None,
 ) -> List[CampaignCell]:
     """The Table 5 sweep: failure-free execution time vs redundancy.
 
@@ -200,6 +213,7 @@ def run_failure_free_sweep(
         cell_retries,
         tracer=tracer,
         metrics=metrics,
+        store=store,
     )
 
 

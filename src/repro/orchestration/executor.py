@@ -101,6 +101,9 @@ class CellOutcome:
     report: Optional[JobReport] = None
     error: Optional[str] = None
     error_type: Optional[str] = None
+    #: True when the report was restored from the results store rather
+    #: than executed (resumed campaigns).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -198,6 +201,16 @@ class CampaignExecutor:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` that
         receives cell counters, wall-time histograms and the final
         worker-utilization gauge.
+    store:
+        Optional :class:`~repro.store.ResultsStore`.  Before execution,
+        every spec is looked up by its canonical config key: stored
+        cells come back as ``cached=True`` outcomes (progress fires for
+        them too, in spec order) and are *not* re-run; every cell that
+        does run to a report is persisted from the parent process as it
+        completes.  This is what makes campaigns resumable — and a
+        repeat of an identical campaign all cache hits, bit-identical
+        to the original.  Hit/miss counters land in ``metrics`` as
+        ``campaign.cache_hits``/``campaign.cache_misses``.
     """
 
     #: Fresh pools built after breakage before the remaining cells are
@@ -211,13 +224,16 @@ class CampaignExecutor:
         cell_retries: Optional[int] = None,
         tracer=NULL_TRACER,
         metrics=None,
+        store=None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cell_timeout = resolve_cell_timeout(cell_timeout)
         self.cell_retries = resolve_cell_retries(cell_retries)
         self.tracer = tracer
         self.metrics = metrics
-        #: How the last :meth:`run` actually executed ("serial"/"process").
+        self.store = store
+        #: How the last :meth:`run` actually executed ("serial"/
+        #: "process"; "cached" when the store restored every cell).
         self.last_mode: Optional[str] = None
         #: Broken-pool events survived during the last :meth:`run`.
         self.pool_breakages = 0
@@ -225,6 +241,10 @@ class CampaignExecutor:
         self.cells_resubmitted = 0
         #: Cells failed by the wall-clock timeout during the last run.
         self.cells_timed_out = 0
+        #: Cells restored from the results store during the last run.
+        self.cells_cached = 0
+        #: Store writes that failed during the last run (best-effort).
+        self.store_write_failures = 0
         #: Open per-cell spans + wall start stamps, keyed by spec index.
         self._cell_spans: Dict[int, tuple] = {}
         #: Summed per-cell wall time (utilization numerator).
@@ -241,13 +261,17 @@ class CampaignExecutor:
 
         Exactly one outcome per spec, always — cells the pool lost come
         back as failed outcomes rather than disappearing.  ``progress``
-        is invoked in the calling process once per cell as it completes
-        (completion order under pooling).
+        is invoked in the calling process once per cell: first for
+        store-restored cells (spec order, ``cached=True``), then for
+        executed cells as they complete (completion order under
+        pooling).
         """
         specs = list(specs)
         self.pool_breakages = 0
         self.cells_resubmitted = 0
         self.cells_timed_out = 0
+        self.cells_cached = 0
+        self.store_write_failures = 0
         self._cell_spans = {}
         self._busy_seconds = 0.0
         if not specs:
@@ -257,11 +281,17 @@ class CampaignExecutor:
             "campaign", cells=len(specs), workers=self.workers
         )
         try:
-            if self.workers <= 1 or len(specs) == 1 or not self._poolable(specs):
-                outcomes = self._run_serial(specs, progress)
+            restored, remaining = self._restore_cached(specs, progress)
+            if not remaining:
+                self.last_mode = "cached"
+                outcomes = [restored[i] for i in range(len(specs))]
+                return outcomes
+            live = [specs[i] for i in remaining]
+            if self.workers <= 1 or len(live) == 1 or not self._poolable(live):
+                executed = self._run_serial(live, progress)
             else:
                 try:
-                    outcomes = self._run_pool(specs, progress)
+                    executed = self._run_pool(live, progress)
                 except (OSError, PermissionError, ImportError, BrokenProcessPool):
                     # Pool could not be created or broke beyond repair —
                     # BrokenProcessPool is a RuntimeError subclass, so it
@@ -271,7 +301,14 @@ class CampaignExecutor:
                     # serial is equivalent.
                     self.last_mode = "serial-fallback"
                     self.tracer.event("serial_fallback")
-                    outcomes = self._run_serial(specs, progress)
+                    executed = self._run_serial(live, progress)
+            merged: List[Optional[CellOutcome]] = [None] * len(specs)
+            for index, outcome in restored.items():
+                merged[index] = outcome
+            for index, outcome in zip(remaining, executed):
+                merged[index] = outcome
+            outcomes = [outcome for outcome in merged if outcome is not None]
+            assert len(outcomes) == len(specs)
         finally:
             elapsed = time.monotonic() - started
             lanes = self.workers if self.last_mode == "process" else 1
@@ -284,6 +321,7 @@ class CampaignExecutor:
                 pool_breakages=self.pool_breakages,
                 cells_resubmitted=self.cells_resubmitted,
                 cells_timed_out=self.cells_timed_out,
+                cells_cached=self.cells_cached,
             )
             if self.metrics is not None:
                 self.metrics.gauge("campaign.workers").set(self.workers)
@@ -298,6 +336,64 @@ class CampaignExecutor:
                     self.cells_timed_out
                 )
         return outcomes
+
+    # -- results store ------------------------------------------------------
+
+    def _restore_cached(
+        self,
+        specs: Sequence[CellSpec],
+        progress: Optional[Callable[[CellOutcome], None]],
+    ) -> Tuple[Dict[int, CellOutcome], List[int]]:
+        """Look every spec up in the store; return (restored, to-run).
+
+        Restored outcomes fire ``progress`` immediately (spec order)
+        with ``cached=True`` so TTY progress and traces account for
+        resumed cells instead of silently under-counting them.
+        """
+        if self.store is None:
+            return {}, list(range(len(specs)))
+        restored: Dict[int, CellOutcome] = {}
+        remaining: List[int] = []
+        for index, spec in enumerate(specs):
+            report = self.store.get_report(spec.config)
+            if report is None:
+                remaining.append(index)
+                continue
+            outcome = CellOutcome(spec=spec, report=report, cached=True)
+            restored[index] = outcome
+            self.cells_cached += 1
+            self.tracer.event(
+                "cell_cached", index=index, mtbf=spec.node_mtbf, r=spec.redundancy
+            )
+            if self.metrics is not None:
+                self.metrics.counter("campaign.cells").inc()
+                self.metrics.counter("campaign.cache_hits").inc()
+            if progress is not None:
+                progress(outcome)
+        if self.metrics is not None and remaining:
+            self.metrics.counter("campaign.cache_misses").inc(len(remaining))
+        return restored, remaining
+
+    def _persist(self, outcome: CellOutcome) -> None:
+        """Write one executed cell's report through to the store.
+
+        Best-effort: a store write failure (disk full, permissions)
+        must never fail the campaign — the cell simply is not resumable
+        and will recompute next time.
+        """
+        if (
+            self.store is None
+            or not outcome.ok
+            or outcome.cached
+        ):
+            return
+        try:
+            self.store.put_report(outcome.spec.config, outcome.report)
+        except Exception as error:  # noqa: BLE001 - persistence is optional
+            self.store_write_failures += 1
+            self.tracer.event("store_write_failed", error=str(error))
+            if self.metrics is not None:
+                self.metrics.counter("campaign.store_write_failures").inc()
 
     # -- observability ------------------------------------------------------
 
@@ -333,6 +429,8 @@ class CampaignExecutor:
             if not outcome.ok:
                 self.metrics.counter("campaign.cell_failures").inc()
             self.metrics.histogram("campaign.cell_wall_seconds").observe(seconds)
+        if outcome is not None:
+            self._persist(outcome)
 
     # -- execution paths ----------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Blocking client for the serving endpoint (stdlib ``http.client``).
+
+One :class:`ServeClient` holds one keep-alive connection, so a load
+generator can pin a client per thread and measure steady-state latency
+without per-request TCP setup.  Server-side errors are mapped back to
+the exception types the in-process API raises: 429 →
+:class:`~repro.errors.ServiceOverloadedError`, 503 →
+:class:`~repro.errors.ServiceClosedError`, 400 → the original domain
+error (:class:`~repro.errors.ConfigurationError` /
+:class:`~repro.errors.ModelDivergence`) so calling code cannot tell a
+remote evaluation from a local one.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from ..errors import (
+    ConfigurationError,
+    ModelDivergence,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..models.combined import CombinedModel
+from .batching import model_to_dict
+
+__all__ = ["ServeClient"]
+
+#: Server ``error_type`` strings mapped back to local exception types.
+_ERROR_TYPES = {
+    "overloaded": ServiceOverloadedError,
+    "draining": ServiceClosedError,
+    "ConfigurationError": ConfigurationError,
+    "ModelDivergence": ModelDivergence,
+    "ReproError": ReproError,
+}
+
+
+class ServeClient:
+    """One keep-alive connection to a running ``repro-exp serve``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # A dropped keep-alive connection (e.g. the server drained
+            # between requests) is not retryable state worth keeping.
+            self.close()
+            raise
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"malformed response ({response.status}): {raw[:200]!r}"
+            ) from error
+        if response.status != 200:
+            message = decoded.get("error", f"HTTP {response.status}")
+            error_cls = _ERROR_TYPES.get(
+                decoded.get("error_type", ""), ServiceError
+            )
+            raise error_cls(message)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    def evaluate(self, model: CombinedModel) -> Dict[str, Any]:
+        """``POST /evaluate`` — one batched model evaluation."""
+        return self._request("POST", "/evaluate", model_to_dict(model))
+
+    def recommend(
+        self,
+        model: CombinedModel,
+        grid: Optional[Sequence[float]] = None,
+        node_budget: Optional[int] = None,
+        time_weight: float = 1.0,
+        resource_weight: float = 0.0,
+    ) -> Dict[str, Any]:
+        """``POST /recommend`` — an advisor recommendation."""
+        body: Dict[str, Any] = {
+            "model": model_to_dict(model),
+            "time_weight": time_weight,
+            "resource_weight": resource_weight,
+        }
+        if grid is not None:
+            body["grid"] = list(grid)
+        if node_budget is not None:
+            body["node_budget"] = node_budget
+        return self._request("POST", "/recommend", body)
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,441 @@
+"""The model-serving endpoint: `repro-exp serve`.
+
+A small asyncio HTTP/1.1 server (standard library only) that answers
+model evaluations and advisor recommendations over JSON:
+
+``POST /evaluate``
+    Body is a :class:`~repro.models.combined.CombinedModel` parameter
+    object.  Concurrent requests are coalesced by the
+    :class:`~repro.service.batching.MicroBatcher` into single vectorized
+    grid calls; answers are bit-identical to a direct
+    ``CombinedModel.evaluate()``.
+``POST /recommend``
+    Body is ``{"model": {...}, "grid"?, "node_budget"?, "time_weight"?,
+    "resource_weight"?}``; answered by
+    :func:`~repro.models.advisor.recommend`, memoized twice — in
+    process (the advisor's own LRU) and, when a results store is
+    attached, across restarts via
+    :meth:`~repro.store.ResultsStore.get_object`.
+``GET /healthz``
+    Liveness + drain state + queue depth.
+``GET /metrics``
+    The :class:`~repro.obs.metrics.MetricsRegistry` snapshot (batch-size
+    histogram, queue-depth gauge, shed counter) plus batcher totals,
+    store statistics and the advisor cache ratio.
+
+Responses use Python's default JSON float handling, so diverged
+configurations carry literal ``Infinity`` — the bundled
+:class:`~repro.service.client.ServeClient` (and any Python
+``json.loads``) round-trips it exactly.
+
+Overload and shutdown semantics: the batcher's bounded queue sheds
+excess load as **429**; once a drain starts (SIGTERM or
+:meth:`ModelServer.request_shutdown`) new work gets **503** while every
+admitted request is still answered before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import (
+    ConfigurationError,
+    ModelDivergence,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from ..models.advisor import Recommendation, recommend, recommend_cache_info
+from ..models.combined import CombinedModel
+from ..models.redundancy import PAPER_REDUNDANCY_GRID
+from ..obs.metrics import MetricsRegistry
+from .batching import MicroBatcher, model_to_dict
+
+__all__ = ["ModelServer", "parse_model", "recommendation_to_dict"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Fields a ``/evaluate`` body may carry (the CombinedModel parameters).
+_MODEL_FIELDS = {
+    "virtual_processes",
+    "redundancy",
+    "node_mtbf",
+    "alpha",
+    "base_time",
+    "checkpoint_cost",
+    "restart_cost",
+    "interval_rule",
+    "checkpoint_interval",
+    "exact_reliability",
+}
+_REQUIRED_MODEL_FIELDS = (
+    "virtual_processes",
+    "redundancy",
+    "node_mtbf",
+    "alpha",
+    "base_time",
+    "checkpoint_cost",
+    "restart_cost",
+)
+
+
+def parse_model(body: Any) -> CombinedModel:
+    """Build a :class:`CombinedModel` from a request body, strictly.
+
+    Unknown keys and missing required keys are rejected up front — a
+    typo like ``"nod_mtbf"`` must 400, not silently evaluate defaults.
+    """
+    if not isinstance(body, dict):
+        raise ConfigurationError("request body must be a JSON object")
+    unknown = set(body) - _MODEL_FIELDS
+    if unknown:
+        raise ConfigurationError(f"unknown model fields: {sorted(unknown)}")
+    missing = [f for f in _REQUIRED_MODEL_FIELDS if f not in body]
+    if missing:
+        raise ConfigurationError(f"missing model fields: {missing}")
+    try:
+        interval = body.get("checkpoint_interval")
+        return CombinedModel(
+            virtual_processes=int(body["virtual_processes"]),
+            redundancy=float(body["redundancy"]),
+            node_mtbf=float(body["node_mtbf"]),
+            alpha=float(body["alpha"]),
+            base_time=float(body["base_time"]),
+            checkpoint_cost=float(body["checkpoint_cost"]),
+            restart_cost=float(body["restart_cost"]),
+            interval_rule=str(body.get("interval_rule", "daly")),
+            checkpoint_interval=None if interval is None else float(interval),
+            exact_reliability=bool(body.get("exact_reliability", False)),
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"malformed model field: {error}") from error
+
+
+def recommendation_to_dict(rec: Recommendation) -> Dict[str, Any]:
+    """The wire form of an advisor recommendation."""
+    return {
+        "redundancy": rec.redundancy,
+        "checkpoint_interval": rec.checkpoint_interval,
+        "total_time": rec.total_time,
+        "total_processes": rec.total_processes,
+        "speedup_vs_plain": rec.speedup_vs_plain,
+        "rationale": rec.rationale,
+        "candidates": [
+            {
+                "redundancy": point.redundancy,
+                "total_time": point.total_time,
+                "diverged": point.diverged,
+            }
+            for point in rec.candidates
+        ],
+    }
+
+
+class ModelServer:
+    """Asyncio HTTP server over a :class:`MicroBatcher` and the advisor.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks a free port (read :attr:`port`
+        after :meth:`start`).
+    max_batch / max_wait / queue_limit:
+        Micro-batching knobs, passed through to :class:`MicroBatcher`.
+    store:
+        Optional :class:`~repro.store.ResultsStore`; when given,
+        ``/recommend`` answers persist across restarts.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; a private
+        one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        max_batch: int = 64,
+        max_wait: float = 0.002,
+        queue_limit: int = 256,
+        store=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            queue_limit=queue_limit,
+            metrics=self.metrics,
+        )
+        self.requests = 0
+        self.recommend_store_hits = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._shutdown = asyncio.Event()
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the batcher; resolves ``port=0``."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._client, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, answer admitted requests.
+
+        Idempotent.  The listening socket closes first, then the
+        batcher drains (resolving every admitted future), then open
+        connections get a short grace period to flush their final
+        responses before being closed.
+        """
+        if self._stopping:
+            return
+        self._stopping = True
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.stop()
+        for _ in range(200):  # <= ~2 s for handlers to write final bytes
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry point: begin the drain asynchronously."""
+        self._shutdown.set()
+
+    async def run(self, install_signal_handlers: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.request_shutdown)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        try:
+            await self._shutdown.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping or self._shutdown.is_set()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _client(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, raw = request
+                status, payload = await self._dispatch(method, path, raw)
+                keep = (
+                    headers.get("connection", "").lower() != "close"
+                    and not self.draining
+                )
+                await self._respond(writer, status, payload, keep)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await reader.readexactly(length) if length > 0 else b""
+        return method, path, headers, raw
+
+    async def _respond(self, writer, status: int, payload: Any, keep: bool) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _dispatch(
+        self, method: str, path: str, raw: bytes
+    ) -> Tuple[int, Any]:
+        self.requests += 1
+        self.metrics.counter("serve.requests").inc()
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return 200, self._healthz()
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return 200, self._metrics_payload()
+            if path == "/evaluate":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return 200, await self._evaluate(self._parse_json(raw))
+            if path == "/recommend":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return 200, self._recommend(self._parse_json(raw))
+            return 404, {"error": f"no such endpoint: {path}"}
+        except ServiceOverloadedError as error:
+            return 429, {"error": str(error), "error_type": "overloaded"}
+        except ServiceClosedError as error:
+            return 503, {"error": str(error), "error_type": "draining"}
+        except (ConfigurationError, ModelDivergence, ReproError) as error:
+            self.metrics.counter("serve.bad_requests").inc()
+            return 400, {
+                "error": str(error),
+                "error_type": type(error).__name__,
+            }
+        except Exception as error:  # noqa: BLE001 - a handler bug must
+            # 500 its own request, not kill the connection loop.
+            self.metrics.counter("serve.errors").inc()
+            return 500, {"error": str(error), "error_type": type(error).__name__}
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> Any:
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ConfigurationError(f"request body is not JSON: {error}") from error
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def _evaluate(self, body: Any) -> Dict[str, Any]:
+        if self.draining:
+            raise ServiceClosedError("service is draining; no new requests")
+        return await self.batcher.submit(parse_model(body))
+
+    def _recommend(self, body: Any) -> Dict[str, Any]:
+        if self.draining:
+            raise ServiceClosedError("service is draining; no new requests")
+        if not isinstance(body, dict) or "model" not in body:
+            raise ConfigurationError('recommend body must carry a "model" object')
+        unknown = set(body) - {
+            "model", "grid", "node_budget", "time_weight", "resource_weight",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown recommend fields: {sorted(unknown)}")
+        model = parse_model(body["model"])
+        grid = tuple(float(d) for d in body.get("grid", PAPER_REDUNDANCY_GRID))
+        budget = body.get("node_budget")
+        node_budget = None if budget is None else int(budget)
+        time_weight = float(body.get("time_weight", 1.0))
+        resource_weight = float(body.get("resource_weight", 0.0))
+        self.metrics.counter("serve.recommendations").inc()
+        params = {
+            "model": model,
+            "grid": grid,
+            "node_budget": node_budget,
+            "time_weight": time_weight,
+            "resource_weight": resource_weight,
+        }
+        rec = None
+        if self.store is not None:
+            rec = self.store.get_object("recommend", params)
+            if rec is not None:
+                self.recommend_store_hits += 1
+                self.metrics.counter("serve.recommend_store_hits").inc()
+        if rec is None:
+            rec = recommend(
+                model,
+                grid=grid,
+                node_budget=node_budget,
+                time_weight=time_weight,
+                resource_weight=resource_weight,
+            )
+            if self.store is not None:
+                self.store.put_object("recommend", params, rec)
+        return {"model": model_to_dict(model), **recommendation_to_dict(rec)}
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "draining": self.draining,
+            "queue_depth": self.batcher.queue_depth,
+            "requests": self.requests,
+            "evaluations": self.batcher.evaluations,
+            "batches": self.batcher.batches,
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        info = recommend_cache_info()
+        lookups = info.hits + info.misses
+        payload = {
+            "metrics": self.metrics.snapshot(),
+            "render": self.metrics.render(),
+            "batcher": {
+                "batches": self.batcher.batches,
+                "evaluations": self.batcher.evaluations,
+                "shed": self.batcher.shed,
+                "queue_depth": self.batcher.queue_depth,
+                "mean_batch_size": (
+                    self.batcher.evaluations / self.batcher.batches
+                    if self.batcher.batches
+                    else 0.0
+                ),
+            },
+            "recommend_cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.currsize,
+                "hit_ratio": info.hits / lookups if lookups else 0.0,
+                "store_hits": self.recommend_store_hits,
+            },
+            "store": self.store.stats() if self.store is not None else None,
+        }
+        return payload

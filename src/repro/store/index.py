@@ -1,0 +1,131 @@
+"""Lightweight persistent index over stored keys.
+
+An append-only JSONL operation log (``index.jsonl`` in the store root):
+each line is a ``put`` or ``delete`` op carrying the key, its kind
+(``"job"``, ``"recommend"``, ...) and the package version that wrote
+it.  Appending keeps hot-path writes O(1); the in-memory view is the
+log's replay.  A truncated final line (crash mid-append) is skipped on
+load — the worst case is re-computing one cell.
+
+Invalidate-by-version: keys are version-salted (see
+:mod:`repro.store.keys`), so entries written by an older package
+version can never be *read* by a newer one — they are just dead disk.
+:meth:`stale_keys` surfaces them so the facade can delete the files,
+and :meth:`compact` rewrites the log (atomically) to drop the
+accumulated ops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["StoreIndex"]
+
+_FILENAME = "index.jsonl"
+
+
+class StoreIndex:
+    """Replayable put/delete log of the store's contents."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / _FILENAME
+        #: key -> {"kind": str, "version": str}
+        self.entries: Dict[str, Dict[str, str]] = {}
+        #: Log lines replayed or appended since load (compaction cue).
+        self.ops = 0
+        self._load()
+
+    # -- load / persist ------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    op = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # crash-truncated tail
+                self.ops += 1
+                if not isinstance(op, dict):
+                    continue
+                key = op.get("key")
+                if not isinstance(key, str):
+                    continue
+                if op.get("op") == "put":
+                    self.entries[key] = {
+                        "kind": str(op.get("kind", "")),
+                        "version": str(op.get("version", "")),
+                    }
+                elif op.get("op") == "delete":
+                    self.entries.pop(key, None)
+
+    def _append(self, op: Dict[str, str]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(op, sort_keys=True) + "\n")
+        self.ops += 1
+
+    # -- mutation ------------------------------------------------------------
+
+    def record_put(self, key: str, kind: str, version: str) -> None:
+        """Log that ``key`` (of ``kind``) was written by ``version``."""
+        self.entries[key] = {"kind": kind, "version": version}
+        self._append({"op": "put", "key": key, "kind": kind, "version": version})
+
+    def record_delete(self, key: str) -> None:
+        """Log that ``key`` was removed."""
+        self.entries.pop(key, None)
+        self._append({"op": "delete", "key": key})
+
+    def compact(self) -> None:
+        """Rewrite the log as pure puts of the live entries (atomic)."""
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for key in sorted(self.entries):
+                entry = self.entries[key]
+                handle.write(
+                    json.dumps(
+                        {
+                            "op": "put",
+                            "key": key,
+                            "kind": entry["kind"],
+                            "version": entry["version"],
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.path)
+        self.ops = len(self.entries)
+
+    # -- queries -------------------------------------------------------------
+
+    def keys(self, kind: Optional[str] = None) -> List[str]:
+        """Live keys, optionally filtered by kind (sorted)."""
+        if kind is None:
+            return sorted(self.entries)
+        return sorted(
+            key for key, entry in self.entries.items() if entry["kind"] == kind
+        )
+
+    def stale_keys(self, current_version: str) -> List[str]:
+        """Keys written by any version other than ``current_version``."""
+        return sorted(
+            key
+            for key, entry in self.entries.items()
+            if entry["version"] != current_version
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries

@@ -1,0 +1,152 @@
+"""Canonical content-addressed cache keys for the results store.
+
+A cache key must be *stable* (the same logical configuration always
+produces the same key, across processes and sessions), *complete*
+(anything that can change the result changes the key) and *exact*
+(floats keyed by value, not by a lossy decimal rendering).  The
+canonical form here delivers all three:
+
+* dataclasses serialize as ``{type name: {field: value}}`` with fields
+  in declaration order;
+* ``functools.partial`` workload factories serialize as the target's
+  ``module:qualname`` plus positional args and *sorted* keyword args,
+  so two partials built with keywords in different order key
+  identically;
+* floats serialize via :meth:`float.hex` — exact and locale-free;
+* dicts serialize as sorted ``[key, value]`` pairs;
+* anything else (open files, lambdas, closures) raises
+  :class:`~repro.errors.UnkeyableError` rather than silently keying on
+  ``repr``.
+
+The final key is the SHA-256 of the canonical JSON of
+``{kind, schema, version, payload}`` — so bumping the package version
+(or the key schema) invalidates every previously stored entry, which
+:class:`~repro.store.index.StoreIndex` exploits to garbage-collect
+stale results.
+
+What is *excluded*: :class:`~repro.orchestration.job.JobConfig`'s
+``trace_dir``/``trace_label`` fields.  Tracing never touches the
+simulation clock (traced results are bit-identical to untraced ones),
+so a traced re-run of a stored campaign must hit the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from typing import Any, Tuple
+
+from .._version import __version__
+from ..errors import UnkeyableError
+
+__all__ = [
+    "CODE_VERSION",
+    "KEY_SCHEMA",
+    "JOB_KEY_EXCLUDED_FIELDS",
+    "canonical",
+    "fingerprint",
+    "job_key",
+    "model_key",
+]
+
+#: Package version baked into every key (invalidate-by-version).
+CODE_VERSION = __version__
+
+#: Bump when the canonical form itself changes incompatibly.
+KEY_SCHEMA = 1
+
+#: JobConfig fields that cannot affect simulation results.
+JOB_KEY_EXCLUDED_FIELDS: Tuple[str, ...] = ("trace_dir", "trace_label")
+
+
+def _callable_name(func: Any) -> str:
+    module = getattr(func, "__module__", None)
+    qualname = getattr(func, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname or "<lambda>" in qualname:
+        raise UnkeyableError(
+            f"cannot key callable {func!r}: only importable module-level "
+            "callables have a stable identity (lambdas/closures do not)"
+        )
+    return f"{module}:{qualname}"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-able canonical form (see module doc)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        pairs = [[canonical(key), canonical(item)] for key, item in value.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return {"__dict": pairs}
+    if isinstance(value, functools.partial):
+        return {
+            "__partial": _callable_name(value.func),
+            "args": [canonical(item) for item in value.args],
+            "kwargs": canonical(dict(value.keywords)),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type": type(value).__name__,
+            "fields": [
+                [field.name, canonical(getattr(value, field.name))]
+                for field in dataclasses.fields(value)
+            ],
+        }
+    if callable(value):
+        return {"__callable": _callable_name(value)}
+    # numpy scalars (np.float64 etc.) expose item(); normalise through it
+    # so a config built from array elements keys like one built from
+    # Python numbers.
+    item = getattr(value, "item", None)
+    if item is not None:
+        try:
+            plain = item()
+        except Exception:  # noqa: BLE001 - fall through to the error below
+            plain = value
+        if plain is not value and isinstance(plain, (bool, int, float, str)):
+            return canonical(plain)
+    raise UnkeyableError(
+        f"cannot canonically serialize {type(value).__name__!r} value for a "
+        f"cache key: {value!r}"
+    )
+
+
+def fingerprint(kind: str, payload: Any, version: str = CODE_VERSION) -> str:
+    """SHA-256 hex key of ``payload`` under ``kind`` and ``version``."""
+    envelope = {
+        "kind": kind,
+        "schema": KEY_SCHEMA,
+        "version": version,
+        "payload": canonical(payload),
+    }
+    blob = json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_key(config: Any, version: str = CODE_VERSION) -> str:
+    """Cache key of one :class:`~repro.orchestration.job.JobConfig`.
+
+    Every field participates except the trace knobs (which cannot
+    change results); the seed is an ordinary field, so common-random-
+    number sweeps key each cell separately.
+    """
+    fields = [
+        [field.name, canonical(getattr(config, field.name))]
+        for field in dataclasses.fields(config)
+        if field.name not in JOB_KEY_EXCLUDED_FIELDS
+    ]
+    return fingerprint("job", {"config": type(config).__name__, "fields": fields},
+                       version=version)
+
+
+def model_key(model: Any, version: str = CODE_VERSION) -> str:
+    """Cache key of one :class:`~repro.models.combined.CombinedModel`."""
+    return fingerprint("model", model, version=version)

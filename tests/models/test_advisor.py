@@ -6,7 +6,12 @@ import pytest
 
 from repro import units
 from repro.errors import ConfigurationError, ModelDivergence
-from repro.models import CombinedModel, recommend
+from repro.models import (
+    CombinedModel,
+    clear_recommend_cache,
+    recommend,
+    recommend_cache_info,
+)
 
 
 def machine(**overrides):
@@ -85,3 +90,36 @@ class TestCostWeights:
                 machine(virtual_processes=10_000_000, node_mtbf=units.hours(3)),
                 grid=(1.0,),
             )
+
+
+class TestMemoization:
+    def test_identical_calls_hit_the_cache(self):
+        clear_recommend_cache()
+        first = recommend(machine())
+        info = recommend_cache_info()
+        assert (info.hits, info.misses) == (0, 1)
+        second = recommend(machine())
+        info = recommend_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        # A cache hit returns the very same object, not a recomputation.
+        assert second is first
+
+    def test_grid_type_does_not_split_entries(self):
+        clear_recommend_cache()
+        recommend(machine(), grid=[1.0, 2.0])
+        recommend(machine(), grid=(1.0, 2.0))
+        info = recommend_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_different_inputs_miss(self):
+        clear_recommend_cache()
+        recommend(machine())
+        recommend(machine(alpha=0.3))
+        recommend(machine(), resource_weight=0.5)
+        info = recommend_cache_info()
+        assert (info.hits, info.misses) == (0, 3)
+
+    def test_clear_empties_the_cache(self):
+        recommend(machine())
+        clear_recommend_cache()
+        assert recommend_cache_info().currsize == 0

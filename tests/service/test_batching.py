@@ -1,0 +1,216 @@
+"""Tests for the micro-batching engine (plain asyncio.run, no plugins)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ModelDivergence,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.models import CombinedModel
+from repro.obs.metrics import MetricsRegistry
+from repro.service import MicroBatcher, validate_model
+
+
+def model(i: int = 0, **overrides) -> CombinedModel:
+    params = dict(
+        virtual_processes=10_000 + 100 * i,
+        redundancy=1.0 + 0.25 * (i % 9),
+        node_mtbf=5 * 365 * 24 * 3600.0,
+        alpha=0.2,
+        base_time=128 * 3600.0,
+        checkpoint_cost=300.0,
+        restart_cost=600.0,
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_grid_calls(self):
+        async def main():
+            batcher = MicroBatcher(max_batch=16, max_wait=0.01)
+            await batcher.start()
+            answers = await asyncio.gather(
+                *(batcher.submit(model(i)) for i in range(24))
+            )
+            await batcher.stop()
+            return batcher, answers
+
+        batcher, answers = asyncio.run(main())
+        assert len(answers) == 24
+        assert batcher.evaluations == 24
+        assert batcher.batches < 24  # genuinely coalesced
+
+    def test_batched_answers_bit_identical_to_scalar(self):
+        async def main():
+            batcher = MicroBatcher(max_batch=64, max_wait=0.01)
+            await batcher.start()
+            answers = await asyncio.gather(
+                *(batcher.submit(model(i)) for i in range(32))
+            )
+            await batcher.stop()
+            return answers
+
+        answers = asyncio.run(main())
+        for i, served in enumerate(answers):
+            direct = model(i).evaluate()
+            assert served["redundant_time"] == direct.redundant_time
+            assert served["system_reliability"] == direct.system_reliability
+            assert served["failure_rate"] == direct.failure_rate
+            assert served["system_mtbf"] == direct.system_mtbf
+            assert served["checkpoint_interval"] == direct.checkpoint_interval
+            assert served["total_time"] == direct.total_time
+            assert served["total_processes"] == direct.total_processes
+            assert served["diverged"] is False
+
+    def test_mixed_interval_rules_stay_grouped_and_identical(self):
+        models = [
+            model(0),
+            model(1, interval_rule="young"),
+            model(2, checkpoint_interval=1800.0),
+            model(3, exact_reliability=True),
+        ]
+
+        async def main():
+            batcher = MicroBatcher(max_batch=8, max_wait=0.01)
+            await batcher.start()
+            answers = await asyncio.gather(*(batcher.submit(m) for m in models))
+            await batcher.stop()
+            return answers
+
+        for m, served in zip(models, asyncio.run(main())):
+            assert served["total_time"] == m.evaluate().total_time
+
+    def test_diverged_member_flags_without_poisoning_batch(self):
+        # t_Red >= node MTBF under the linearised model: diverges.
+        bad = model(0, node_mtbf=100.0, base_time=1000.0)
+        good = model(1)
+
+        async def main():
+            batcher = MicroBatcher(max_batch=8, max_wait=0.01)
+            await batcher.start()
+            answers = await asyncio.gather(
+                batcher.submit(bad), batcher.submit(good)
+            )
+            await batcher.stop()
+            return answers
+
+        served_bad, served_good = asyncio.run(main())
+        assert served_bad["diverged"] is True
+        with pytest.raises(ModelDivergence):
+            bad.evaluate()
+        assert served_good["total_time"] == good.evaluate().total_time
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"alpha": 1.5},
+            {"alpha": -0.1},
+            {"node_mtbf": 0.0},
+            {"checkpoint_cost": 0.0},
+            {"restart_cost": -1.0},
+            {"redundancy": 0.5},
+            {"virtual_processes": 0},
+            {"base_time": -1.0},
+        ],
+    )
+    def test_out_of_domain_request_rejected_before_queueing(self, overrides):
+        with pytest.raises(ConfigurationError):
+            validate_model(model(0, **overrides))
+
+        async def main():
+            batcher = MicroBatcher()
+            await batcher.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await batcher.submit(model(0, **overrides))
+                assert batcher.evaluations == 0
+            finally:
+                await batcher.stop()
+
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_429_error(self):
+        async def main():
+            metrics = MetricsRegistry()
+            batcher = MicroBatcher(
+                max_batch=4, max_wait=0.01, queue_limit=2, metrics=metrics
+            )
+            await batcher.start()
+            # Create all submit tasks, then yield once: every task runs
+            # its put_nowait before the collector task gets scheduled,
+            # so exactly queue_limit are admitted.
+            tasks = [
+                asyncio.ensure_future(batcher.submit(model(i)))
+                for i in range(10)
+            ]
+            await asyncio.sleep(0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            await batcher.stop()
+            return batcher, metrics, outcomes
+
+        batcher, metrics, outcomes = asyncio.run(main())
+        shed = [o for o in outcomes if isinstance(o, ServiceOverloadedError)]
+        served = [o for o in outcomes if isinstance(o, dict)]
+        assert len(shed) == 8 and len(served) == 2
+        assert batcher.shed == 8
+        assert metrics.counter("serve.shed").value == 8
+
+    def test_queue_depth_gauge_tracks(self):
+        async def main():
+            metrics = MetricsRegistry()
+            batcher = MicroBatcher(max_wait=0.001, metrics=metrics)
+            await batcher.start()
+            await batcher.submit(model(0))
+            await batcher.stop()
+            return metrics
+
+        metrics = asyncio.run(main())
+        assert metrics.gauge("serve.queue_depth").value == 0
+        assert metrics.histogram("serve.batch_size").count == 1
+
+
+class TestLifecycle:
+    def test_stop_drains_admitted_requests(self):
+        async def main():
+            batcher = MicroBatcher(max_batch=4, max_wait=0.05)
+            await batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(model(i)))
+                for i in range(6)
+            ]
+            await asyncio.sleep(0)  # admit everything
+            await batcher.stop()  # sentinel lands behind them
+            answers = await asyncio.gather(*tasks)
+            return batcher, answers
+
+        batcher, answers = asyncio.run(main())
+        assert len(answers) == 6
+        assert all(isinstance(a, dict) for a in answers)
+        assert batcher.evaluations == 6
+
+    def test_submit_after_stop_is_closed(self):
+        async def main():
+            batcher = MicroBatcher()
+            await batcher.start()
+            await batcher.stop()
+            with pytest.raises(ServiceClosedError):
+                await batcher.submit(model(0))
+
+        asyncio.run(main())
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_wait=-1.0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(queue_limit=0)

@@ -1,0 +1,159 @@
+"""End-to-end service tests over real sockets (ServerThread + client)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.models import CombinedModel, recommend
+from repro.service import ServeClient, ServerThread
+from repro.service.server import parse_model
+from repro.store import ResultsStore
+
+
+def model(i: int = 0, **overrides) -> CombinedModel:
+    params = dict(
+        virtual_processes=20_000 + 500 * i,
+        redundancy=1.0 + 0.25 * (i % 9),
+        node_mtbf=5 * 365 * 24 * 3600.0,
+        alpha=0.2,
+        base_time=128 * 3600.0,
+        checkpoint_cost=480.0,
+        restart_cost=720.0,
+    )
+    params.update(overrides)
+    return CombinedModel(**params)
+
+
+@pytest.fixture(scope="module")
+def server():
+    runner = ServerThread(max_batch=32, max_wait=0.005).start()
+    yield runner
+    runner.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+class TestEvaluate:
+    def test_concurrent_requests_bit_identical_to_scalar(self, server):
+        def one(i):
+            with ServeClient(port=server.port) as c:
+                return c.evaluate(model(i))
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            answers = list(pool.map(one, range(48)))
+        for i, served in enumerate(answers):
+            direct = model(i).evaluate()
+            assert served["total_time"] == direct.total_time
+            assert served["checkpoint_interval"] == direct.checkpoint_interval
+            assert served["system_reliability"] == direct.system_reliability
+            assert served["failure_rate"] == direct.failure_rate
+            assert served["total_processes"] == direct.total_processes
+            assert served["diverged"] is False
+
+    def test_diverged_configuration_carries_infinity(self, client):
+        served = client.evaluate(model(0, node_mtbf=100.0, base_time=1000.0))
+        assert served["diverged"] is True
+        assert served["total_time"] == float("inf")
+
+    def test_missing_field_is_400(self, client):
+        with pytest.raises(ConfigurationError, match="missing model fields"):
+            client._request("POST", "/evaluate", {"virtual_processes": 10})
+
+    def test_unknown_field_is_400(self, client):
+        body = {**{f: 1 for f in (
+            "virtual_processes", "redundancy", "node_mtbf", "alpha",
+            "base_time", "checkpoint_cost", "restart_cost")}, "typo": 1}
+        with pytest.raises(ConfigurationError, match="unknown model fields"):
+            client._request("POST", "/evaluate", body)
+
+    def test_out_of_domain_is_400(self, client):
+        with pytest.raises(ConfigurationError, match="node_mtbf"):
+            client._request(
+                "POST", "/evaluate",
+                {"virtual_processes": 10, "redundancy": 1.0,
+                 "node_mtbf": -5.0, "alpha": 0.2, "base_time": 10.0,
+                 "checkpoint_cost": 1.0, "restart_cost": 1.0},
+            )
+
+
+class TestRecommend:
+    def test_matches_local_advisor(self, client):
+        served = client.recommend(model(0), node_budget=60_000)
+        local = recommend(model(0), node_budget=60_000)
+        assert served["redundancy"] == local.redundancy
+        assert served["checkpoint_interval"] == local.checkpoint_interval
+        assert served["total_time"] == local.total_time
+        assert served["total_processes"] == local.total_processes
+        assert served["rationale"] == local.rationale
+        assert len(served["candidates"]) == len(local.candidates)
+
+    def test_requires_model_key(self, client):
+        with pytest.raises(ConfigurationError, match="model"):
+            client._request("POST", "/recommend", {"grid": [1.0]})
+
+
+class TestIntrospection:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+
+    def test_metrics_exports_batching_and_cache_stats(self, client):
+        client.evaluate(model(1))
+        payload = client.metrics()
+        assert payload["batcher"]["evaluations"] >= 1
+        assert payload["batcher"]["batches"] >= 1
+        histogram = payload["metrics"]["histograms"]["serve.batch_size"]
+        assert histogram["count"] >= 1
+        assert "hit_ratio" in payload["recommend_cache"]
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError, match="no such endpoint"):
+            client._request("GET", "/nope")
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceError, match="use POST"):
+            client._request("GET", "/evaluate")
+
+
+class TestStoreBackedRecommend:
+    def test_second_request_hits_the_store(self, tmp_path):
+        runner = ServerThread(store=ResultsStore(tmp_path)).start()
+        try:
+            with ServeClient(port=runner.port) as c:
+                first = c.recommend(model(3))
+                second = c.recommend(model(3))
+                stats = c.metrics()
+        finally:
+            runner.stop()
+        assert first == second
+        assert stats["recommend_cache"]["store_hits"] >= 1
+        assert stats["store"]["writes"] >= 1
+
+
+class TestGracefulDrain:
+    def test_drain_answers_then_refuses(self):
+        runner = ServerThread().start()
+        with ServeClient(port=runner.port) as c:
+            assert c.evaluate(model(0))["diverged"] is False
+        runner.stop()  # graceful: joins only after in-flight work drains
+        with pytest.raises(OSError):
+            with ServeClient(port=runner.port, timeout=1.0) as c:
+                c.healthz()
+
+
+class TestParseModel:
+    def test_round_trips_the_wire_form(self):
+        from repro.service import model_to_dict
+
+        m = model(5, interval_rule="young", checkpoint_interval=1234.5)
+        assert parse_model(model_to_dict(m)) == m
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ConfigurationError):
+            parse_model([1, 2, 3])

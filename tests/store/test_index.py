@@ -1,0 +1,67 @@
+"""Tests for the append-only store index."""
+
+import json
+
+from repro.store.index import StoreIndex
+
+
+class TestReplay:
+    def test_puts_and_deletes_replay(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        index.record_put("aa", "job", "1.0.0")
+        index.record_put("bb", "recommend", "1.0.0")
+        index.record_delete("aa")
+        fresh = StoreIndex(tmp_path)
+        assert fresh.keys() == ["bb"]
+        assert "bb" in fresh and "aa" not in fresh
+        assert len(fresh) == 1
+
+    def test_crash_truncated_tail_is_skipped(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        index.record_put("aa", "job", "1.0.0")
+        with open(index.path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "key": "bb", "ki')  # torn write
+        fresh = StoreIndex(tmp_path)
+        assert fresh.keys() == ["aa"]
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        with open(index.path, "w", encoding="utf-8") as handle:
+            handle.write("[1, 2]\n")          # not an op object
+            handle.write('{"op": "put"}\n')   # no key
+            handle.write(
+                json.dumps({"op": "put", "key": "cc", "kind": "job",
+                            "version": "1.0.0"}) + "\n"
+            )
+        assert StoreIndex(tmp_path).keys() == ["cc"]
+
+
+class TestQueries:
+    def test_kind_filter(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        index.record_put("aa", "job", "1.0.0")
+        index.record_put("bb", "recommend", "1.0.0")
+        assert index.keys("job") == ["aa"]
+        assert index.keys("recommend") == ["bb"]
+
+    def test_stale_keys_by_version(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        index.record_put("aa", "job", "1.0.0")
+        index.record_put("bb", "job", "0.9.0")
+        assert index.stale_keys("1.0.0") == ["bb"]
+        assert index.stale_keys("0.9.0") == ["aa"]
+
+
+class TestCompaction:
+    def test_compact_drops_dead_ops(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        for n in range(5):
+            index.record_put(f"k{n}", "job", "1.0.0")
+        for n in range(4):
+            index.record_delete(f"k{n}")
+        assert index.ops == 9
+        index.compact()
+        assert index.ops == 1
+        lines = index.path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert StoreIndex(tmp_path).keys() == ["k4"]

@@ -1,0 +1,164 @@
+"""Store facade + campaign resumability: the ISSUE's acceptance cases."""
+
+from functools import partial
+
+import pytest
+
+from repro.models import CombinedModel, recommend
+from repro.orchestration import JobConfig, run_redundancy_sweep
+from repro.store import DEFAULT_STORE_DIR, STORE_ENV, ResultsStore, resolve_store
+from repro.store.codec import encode_report
+from repro.workloads import SyntheticWorkload
+
+MTBFS = [3.0, 6.0]
+DEGREES = [1.0, 2.0]
+
+
+def base_config():
+    return JobConfig(
+        workload_factory=partial(
+            SyntheticWorkload,
+            total_steps=8,
+            compute_seconds=0.01,
+            message_bytes=1024,
+        ),
+        virtual_processes=4,
+        seed=7,
+        checkpoint_cost=0.05,
+        restart_cost=0.05,
+        expected_base_time=0.2,
+        alpha_estimate=0.2,
+    )
+
+
+def wire(cells):
+    """Cells as their exact stored wire form (NaN-safe comparison)."""
+    return [
+        (cell.node_mtbf, cell.redundancy, encode_report(cell.report))
+        for cell in cells
+    ]
+
+
+class TestFacade:
+    def test_report_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = base_config()
+        assert store.get_report(config) is None
+        cells = run_redundancy_sweep(
+            base_config(), node_mtbfs=[3.0], degrees=[1.0], store=store
+        )
+        # The sweep replaced mtbf/degree/seed; key the stored cell the
+        # same way a resumed sweep will.
+        assert store.writes == 1
+        fresh = ResultsStore(tmp_path)
+        resumed = run_redundancy_sweep(
+            base_config(), node_mtbfs=[3.0], degrees=[1.0], store=fresh
+        )
+        assert fresh.hits == 1 and fresh.misses == 0
+        assert wire(resumed) == wire(cells)
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultsStore(tmp_path, version="0.9.0")
+        run_redundancy_sweep(
+            base_config(), node_mtbfs=[3.0], degrees=[1.0], store=old
+        )
+        assert len(old.index) == 1
+        new = ResultsStore(tmp_path, version="1.0.0")
+        assert new.invalidated == 1
+        assert len(new.index) == 0
+
+    def test_object_memoization(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        model = CombinedModel(
+            virtual_processes=50_000,
+            redundancy=1.0,
+            node_mtbf=5 * 365 * 24 * 3600.0,
+            alpha=0.2,
+            base_time=128 * 3600.0,
+            checkpoint_cost=480.0,
+            restart_cost=720.0,
+        )
+        params = {"model": model, "grid": (1.0, 2.0, 3.0)}
+        assert store.get_object("recommend", params) is None
+        rec = recommend(model, grid=(1.0, 2.0, 3.0))
+        store.put_object("recommend", params, rec)
+        restored = ResultsStore(tmp_path).get_object("recommend", params)
+        assert restored == rec
+
+    def test_hit_ratio_and_render(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.get_report(base_config())
+        assert store.hit_ratio == 0.0
+        text = store.render_stats()
+        assert "0 hits" in text and "1 misses" in text
+
+
+class TestResolveStore:
+    def test_disabled_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path))
+        assert resolve_store(disabled=True) is None
+
+    def test_explicit_path_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "env"))
+        store = resolve_store(path=str(tmp_path / "flag"))
+        assert store.root.name == "flag"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "env"))
+        assert resolve_store().root.name == "env"
+
+    def test_resume_uses_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        store = resolve_store(resume=True)
+        assert store.root.name == DEFAULT_STORE_DIR
+
+    def test_nothing_selected_means_no_store(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert resolve_store() is None
+
+
+class TestCampaignResume:
+    def test_resumed_parallel_run_equals_cold_serial(self, tmp_path):
+        """The satellite: workers=4 resumed campaign == cold serial run."""
+        cold = run_redundancy_sweep(
+            base_config(), node_mtbfs=MTBFS, degrees=DEGREES
+        )
+        store = ResultsStore(tmp_path)
+        first = run_redundancy_sweep(
+            base_config(), node_mtbfs=MTBFS, degrees=DEGREES, store=store
+        )
+        assert store.misses == 4 and store.writes == 4
+        resumed_cells = []
+        resumed = run_redundancy_sweep(
+            base_config(),
+            node_mtbfs=MTBFS,
+            degrees=DEGREES,
+            workers=4,
+            store=store,
+            progress=resumed_cells.append,
+        )
+        assert store.hits == 4
+        assert wire(cold) == wire(first) == wire(resumed)
+        # Progress fired for every restored cell, flagged as cached,
+        # in spec (row-major) order.
+        assert [c.cached for c in resumed_cells] == [True] * 4
+        assert [(c.node_mtbf, c.redundancy) for c in resumed_cells] == [
+            (m, d) for m in MTBFS for d in DEGREES
+        ]
+        assert all(cell.cached for cell in resumed)
+
+    def test_partial_store_fills_in_the_gaps(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        run_redundancy_sweep(
+            base_config(), node_mtbfs=[MTBFS[0]], degrees=DEGREES, store=store
+        )
+        full = run_redundancy_sweep(
+            base_config(), node_mtbfs=MTBFS, degrees=DEGREES, store=store
+        )
+        assert store.hits == 2  # first row restored
+        assert [c.cached for c in full] == [True, True, False, False]
+        cold = run_redundancy_sweep(
+            base_config(), node_mtbfs=MTBFS, degrees=DEGREES
+        )
+        assert wire(full) == wire(cold)

@@ -115,3 +115,47 @@ class TestAdvise:
             "--base-time", "128h",
         ])
         assert code == 2
+
+
+class TestStoreFlags:
+    def test_sweep_subcommands_accept_store_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("campaign", "chaos", "serve"):
+            args = parser.parse_args([command, "--store", "/tmp/s"])
+            assert args.store == "/tmp/s"
+            args = parser.parse_args([command, "--resume"])
+            assert args.resume and args.store is None
+            args = parser.parse_args([command, "--no-store"])
+            assert args.no_store
+
+    def test_no_store_flag_disables_env(self, monkeypatch, tmp_path):
+        from types import SimpleNamespace
+
+        from repro.cli import _resolve_store
+        from repro.store import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, str(tmp_path))
+        args = SimpleNamespace(store=None, resume=False, no_store=True)
+        assert _resolve_store(args) is None
+        args = SimpleNamespace(store=None, resume=False, no_store=False)
+        assert _resolve_store(args) is not None
+
+
+class TestServeCommands:
+    def test_bench_serve_quick_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main([
+            "bench-serve", "--quick", "--threads", "2",
+            "--requests", "5", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["bit_identical_sample"] is True
+        assert report["errors"] == 0
+        assert report["requests"] == 10
+        output = capsys.readouterr().out
+        assert "bit-identical: True" in output
